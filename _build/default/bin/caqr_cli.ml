@@ -1,0 +1,226 @@
+(* caqr — command-line front end for the CaQR compiler.
+
+   Subcommands:
+     list                      show the benchmark registry
+     compile  <bench>          compile a benchmark with a chosen strategy
+     sweep    <bench>          print the qubit/depth tradeoff table
+     check    <bench>          reuse applicability verdict
+     simulate <bench>          compile and run (optionally noisy) simulation *)
+
+let all_strategies =
+  [
+    ("baseline", Caqr.Pipeline.Baseline);
+    ("qs-max-reuse", Caqr.Pipeline.Qs_max_reuse);
+    ("qs-min-depth", Caqr.Pipeline.Qs_min_depth);
+    ("qs-best-fidelity", Caqr.Pipeline.Qs_best_fidelity);
+    ("sr", Caqr.Pipeline.Sr);
+  ]
+
+let input_of_entry (e : Benchmarks.Suite.entry) =
+  match e.Benchmarks.Suite.kind with
+  | Benchmarks.Suite.Regular -> Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+  | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+
+let find_entry name =
+  try Ok (Benchmarks.Suite.find name)
+  with Not_found ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown benchmark %S; run `caqr_cli list`" name))
+
+let bench_arg =
+  let parse s = find_entry s in
+  let print ppf (e : Benchmarks.Suite.entry) =
+    Format.pp_print_string ppf e.Benchmarks.Suite.name
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let bench_pos =
+  Cmdliner.Arg.(
+    required & pos 0 (some bench_arg) None & info [] ~docv:"BENCHMARK")
+
+let strategy_arg =
+  let parse s =
+    match List.assoc_opt s all_strategies with
+    | Some st -> Ok st
+    | None ->
+      (match int_of_string_opt s with
+       | Some n -> Ok (Caqr.Pipeline.Qs_target n)
+       | None ->
+         Error
+           (`Msg
+             "strategy must be baseline | qs-max-reuse | qs-min-depth | sr | \
+              <qubit budget>"))
+  in
+  let print ppf s = Format.pp_print_string ppf (Caqr.Pipeline.strategy_name s) in
+  Cmdliner.Arg.conv (parse, print)
+
+let strategy_flag =
+  Cmdliner.Arg.(
+    value
+    & opt strategy_arg Caqr.Pipeline.Sr
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Compilation strategy: baseline, qs-max-reuse, qs-min-depth, \
+           qs-best-fidelity, sr, or an integer qubit budget.")
+
+let qasm_flag =
+  Cmdliner.Arg.(
+    value & flag & info [ "qasm" ] ~doc:"Print the compiled OpenQASM 3.")
+
+let noisy_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "noisy" ] ~doc:"Simulate with the synthetic Mumbai noise model.")
+
+let shots_flag =
+  Cmdliner.Arg.(
+    value & opt int 1024 & info [ "shots" ] ~docv:"N" ~doc:"Shots to sample.")
+
+let device_for (e : Benchmarks.Suite.entry) =
+  Hardware.Device.heavy_hex_for e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %-11s %s\n" "name" "kind" "description";
+    List.iter
+      (fun (e : Benchmarks.Suite.entry) ->
+        Printf.printf "%-14s %-11s %s\n" e.Benchmarks.Suite.name
+          (match e.Benchmarks.Suite.kind with
+           | Benchmarks.Suite.Regular -> "regular"
+           | Benchmarks.Suite.Commutable _ -> "commutable")
+          e.Benchmarks.Suite.description)
+      (Benchmarks.Suite.table1 ())
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "list" ~doc:"List the benchmark registry")
+    Cmdliner.Term.(const run $ const ())
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run entry strategy qasm =
+    let device = device_for entry in
+    let r = Caqr.Pipeline.compile device strategy (input_of_entry entry) in
+    Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@."
+      entry.Benchmarks.Suite.name
+      (Caqr.Pipeline.strategy_name strategy)
+      Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+    if qasm then
+      print_string
+        (Quantum.Qasm.to_string (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "compile" ~doc:"Compile a benchmark")
+    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ qasm_flag)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run entry =
+    let device = device_for entry in
+    Printf.printf "%-8s %-12s %-14s %-14s %-8s\n" "qubits" "log.depth"
+      "compiled.depth" "duration(dt)" "swaps";
+    let row usage logical_depth circuit =
+      let compacted, _ = Quantum.Circuit.compact_qubits circuit in
+      let st = (Transpiler.Transpile.run device compacted).Transpiler.Transpile.stats in
+      Printf.printf "%-8d %-12d %-14d %-14d %-8d\n" usage logical_depth
+        st.Transpiler.Transpile.depth st.Transpiler.Transpile.duration_dt
+        st.Transpiler.Transpile.swaps
+    in
+    match entry.Benchmarks.Suite.kind with
+    | Benchmarks.Suite.Regular ->
+      List.iter
+        (fun (s : Caqr.Qs_caqr.step) ->
+          row s.Caqr.Qs_caqr.usage s.Caqr.Qs_caqr.logical_depth s.Caqr.Qs_caqr.circuit)
+        (Caqr.Qs_caqr.sweep entry.Benchmarks.Suite.circuit)
+    | Benchmarks.Suite.Commutable g ->
+      List.iter
+        (fun (s : Caqr.Commute.step) ->
+          row s.Caqr.Commute.usage s.Caqr.Commute.depth
+            (Caqr.Commute.emit s.Caqr.Commute.plan))
+        (Caqr.Commute.sweep g)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sweep" ~doc:"Print the qubit/depth tradeoff table")
+    Cmdliner.Term.(const run $ bench_pos)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run entry =
+    let yes, why = Caqr.Pipeline.beneficial (device_for entry) (input_of_entry entry) in
+    Printf.printf "%s: %s — %s\n" entry.Benchmarks.Suite.name
+      (if yes then "reuse is beneficial" else "no reuse benefit")
+      why;
+    exit (if yes then 0 else 1)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "check" ~doc:"Reuse applicability verdict")
+    Cmdliner.Term.(const run $ bench_pos)
+
+(* ---- qasmc: compile a circuit from an OpenQASM file ---- *)
+
+let qasmc_cmd =
+  let file_pos =
+    Cmdliner.Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE.qasm")
+  in
+  let run path strategy qasm =
+    let text =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Quantum.Qasm_parser.of_string text with
+    | exception Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | circuit ->
+      let device =
+        Hardware.Device.heavy_hex_for circuit.Quantum.Circuit.num_qubits
+      in
+      let r = Caqr.Pipeline.compile device strategy (Caqr.Pipeline.Regular circuit) in
+      Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@." path
+        (Caqr.Pipeline.strategy_name strategy)
+        Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+      if qasm then
+        print_string
+          (Quantum.Qasm.to_string
+             (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "qasmc" ~doc:"Compile an OpenQASM file with CaQR")
+    Cmdliner.Term.(const run $ file_pos $ strategy_flag $ qasm_flag)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run entry strategy noisy shots =
+    let device = device_for entry in
+    let r = Caqr.Pipeline.compile device strategy (input_of_entry entry) in
+    let counts =
+      if noisy then Sim.Noise.run ~device ~seed:1 ~shots r.Caqr.Pipeline.physical
+      else Sim.Executor.run ~seed:1 ~shots r.Caqr.Pipeline.physical
+    in
+    Format.printf "%s / %s (%s, %d shots):@.%a@." entry.Benchmarks.Suite.name
+      (Caqr.Pipeline.strategy_name strategy)
+      (if noisy then "noisy" else "ideal")
+      shots Sim.Counts.pp counts
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "simulate" ~doc:"Compile and simulate a benchmark")
+    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag)
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "caqr_cli" ~version:"1.0.0"
+      ~doc:"Compiler-assisted qubit reuse through dynamic circuits"
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; qasmc_cmd ]))

@@ -1,0 +1,1 @@
+examples/bv_reuse.ml: Array Benchmarks Caqr List Printf Quantum Sim

@@ -1,0 +1,1 @@
+examples/bv_reuse.mli:

@@ -1,0 +1,1 @@
+examples/fidelity_study.ml: Array Benchmarks Caqr Float Hardware List Printf Sim Sys Transpiler

@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Array Caqr Galg Hardware List Printf Qaoa Sim Transpiler

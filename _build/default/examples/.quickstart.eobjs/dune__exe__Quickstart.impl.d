@@ -1,0 +1,1 @@
+examples/quickstart.ml: Benchmarks Caqr Format Hardware List Printf Quantum Sim Transpiler

@@ -1,0 +1,1 @@
+examples/reuse_detector.ml: Benchmarks Caqr Hardware List Printf String

@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Array Benchmarks Caqr Hardware List Printf Quantum Sys Transpiler

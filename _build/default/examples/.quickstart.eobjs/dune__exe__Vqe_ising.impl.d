@@ -1,0 +1,1 @@
+examples/vqe_ising.ml: Array Caqr Hardware List Printf Qaoa Quantum Sim Transpiler

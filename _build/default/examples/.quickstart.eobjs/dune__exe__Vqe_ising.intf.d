@@ -1,0 +1,1 @@
+examples/vqe_ising.mli:

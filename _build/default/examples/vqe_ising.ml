@@ -1,0 +1,82 @@
+(* VQE for a transverse-field Ising chain — the other commutable-gate
+   application family the paper cites (§1, §5: "applications with gate
+   commutativity such as QAOA and VQE").
+
+   H = -J sum_i Z_i Z_{i+1} - g sum_i X_i      (open chain)
+
+   The hardware-efficient ansatz is Ry walls + a CX ladder; the energy is
+   estimated with Sim.Observable, which measures each Pauli-term group in
+   its own basis exactly like hardware does. The chain-shaped interaction
+   graph then lets CaQR compile the Z-basis measurement circuit with
+   qubit reuse.
+
+   Run with: dune exec examples/vqe_ising.exe *)
+
+let n = 6
+let coupling_j = 1.0
+let field_g = 0.8
+
+module B = Quantum.Circuit.Builder
+module O = Sim.Observable
+
+let hamiltonian = O.ising_chain ~n ~j:coupling_j ~g:field_g
+
+(* Hardware-efficient ansatz: depth-2 Ry + CX-ladder. 2n parameters. *)
+let ansatz params =
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  for q = 0 to n - 1 do
+    B.add b (Quantum.Gate.One_q (Quantum.Gate.Ry params.(q), q))
+  done;
+  for q = 0 to n - 2 do
+    B.cx b q (q + 1)
+  done;
+  for q = 0 to n - 1 do
+    B.add b (Quantum.Gate.One_q (Quantum.Gate.Ry params.(n + q), q))
+  done;
+  B.build b
+
+let () =
+  Printf.printf "VQE, transverse-field Ising chain: n=%d J=%.1f g=%.1f\n" n
+    coupling_j field_g;
+  Printf.printf "measurement bases needed: %d\n\n"
+    (List.length (O.measurement_bases hamiltonian));
+
+  (* Classical optimization of the 2n-parameter ansatz. *)
+  let evals = ref 0 in
+  let objective params =
+    incr evals;
+    O.expectation ~seed:(100 + (2 * !evals)) ~shots:2048
+      ~prepare:(ansatz params) hamiltonian
+  in
+  let trace =
+    Qaoa.Optimizer.cobyla_lite ~max_evals:60
+      ~init:(Array.make (2 * n) 0.4)
+      ~rho_start:0.5 ~rho_end:1e-3 objective
+  in
+  let best = trace.Qaoa.Optimizer.best_params in
+  Printf.printf "best variational energy after %d evaluations: %.4f\n" !evals
+    trace.Qaoa.Optimizer.best_value;
+  Printf.printf "exact energy of that state (no sampling noise): %.4f\n"
+    (O.expectation_exact ~prepare:(ansatz best) hamiltonian);
+  Printf.printf "classical (g = 0) bound: %.4f\n"
+    (-.coupling_j *. float_of_int (n - 1));
+
+  (* Can CaQR compile the measurement circuit with reuse? The chain
+     interaction graph is sparse, so it should. *)
+  let measured = Quantum.Circuit.measure_all (ansatz best) in
+  let device = Hardware.Device.mumbai in
+  let baseline = Transpiler.Transpile.run device measured in
+  let sr = Caqr.Sr_caqr.regular device measured in
+  Printf.printf "\nZ-basis measurement circuit on Mumbai:\n";
+  Printf.printf "  baseline: %d qubits, %d swaps\n"
+    baseline.Transpiler.Transpile.stats.Transpiler.Transpile.qubits_used
+    baseline.Transpiler.Transpile.stats.Transpiler.Transpile.swaps;
+  Printf.printf "  SR-CaQR : %d qubits, %d swaps (%d reuses)\n"
+    sr.Caqr.Sr_caqr.qubits_used sr.Caqr.Sr_caqr.swaps_added
+    sr.Caqr.Sr_caqr.reuses;
+
+  (* The reused circuit reports the same distribution (hence energy). *)
+  let zc0 = Sim.Executor.run ~seed:900 ~shots:4096 measured in
+  let zc1 = Sim.Executor.run ~seed:901 ~shots:4096 sr.Caqr.Sr_caqr.physical in
+  Printf.printf "  Z-basis distribution drift (TVD, statistical): %.3f\n"
+    (Sim.Counts.tvd zc0 zc1)

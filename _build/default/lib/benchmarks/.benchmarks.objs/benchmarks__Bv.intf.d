@@ -1,0 +1,1 @@
+lib/benchmarks/bv.mli: Quantum

@@ -1,0 +1,1 @@
+lib/benchmarks/extra.ml: Float Quantum Revlib

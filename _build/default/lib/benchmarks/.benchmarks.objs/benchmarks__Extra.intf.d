@@ -1,0 +1,1 @@
+lib/benchmarks/extra.mli: Quantum

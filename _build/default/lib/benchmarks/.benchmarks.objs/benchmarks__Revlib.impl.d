@@ -1,0 +1,1 @@
+lib/benchmarks/revlib.ml: Quantum

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Bv Galg List Printf Qaoa Quantum Revlib

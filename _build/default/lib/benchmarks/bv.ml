@@ -1,0 +1,23 @@
+let default_secret n = (1 lsl (n - 1)) - 1
+
+let circuit ?secret n =
+  if n < 2 then invalid_arg "Bv.circuit: need at least 2 qubits";
+  let secret = Option.value ~default:(default_secret n) secret in
+  let anc = n - 1 in
+  let b = Quantum.Circuit.Builder.create ~num_qubits:n ~num_clbits:(n - 1) in
+  for q = 0 to n - 2 do
+    Quantum.Circuit.Builder.h b q
+  done;
+  Quantum.Circuit.Builder.x b anc;
+  Quantum.Circuit.Builder.h b anc;
+  for q = 0 to n - 2 do
+    if secret land (1 lsl q) <> 0 then Quantum.Circuit.Builder.cx b q anc
+  done;
+  for q = 0 to n - 2 do
+    Quantum.Circuit.Builder.h b q;
+    Quantum.Circuit.Builder.measure b q q
+  done;
+  Quantum.Circuit.Builder.build b
+
+let expected_output ?secret n =
+  Option.value ~default:(default_secret n) secret

@@ -1,0 +1,16 @@
+(** Bernstein–Vazirani circuits — the paper's running example (Fig. 1).
+
+    An [n]-qubit BV instance uses [n - 1] data qubits plus one ancilla
+    (wire [n - 1]); the interaction graph is a star centered on the
+    ancilla, which is why reuse compresses BV to 2 qubits regardless of
+    size. *)
+
+(** [circuit ?secret n] builds the [n]-qubit BV circuit. [secret] is a
+    bitmask over the [n - 1] data qubits (default: all ones — every data
+    qubit gets a CX to the ancilla). Data qubits are measured into clbits
+    [0 .. n-2]. *)
+val circuit : ?secret:int -> int -> Quantum.Circuit.t
+
+(** The outcome an ideal run produces (the secret), as a classical
+    register value. *)
+val expected_output : ?secret:int -> int -> int

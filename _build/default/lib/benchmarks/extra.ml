@@ -1,0 +1,83 @@
+module B = Quantum.Circuit.Builder
+
+let measure_all b n =
+  for q = 0 to n - 1 do
+    B.measure b q q
+  done
+
+let ghz n =
+  if n < 2 then invalid_arg "Extra.ghz: need at least 2 qubits";
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.h b 0;
+  for q = 0 to n - 2 do
+    B.cx b q (q + 1)
+  done;
+  measure_all b n;
+  B.build b
+
+let qft n =
+  if n < 1 then invalid_arg "Extra.qft: need at least 1 qubit";
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  (* Prepare a nontrivial input so the output is not flat. *)
+  B.x b 0;
+  if n > 2 then B.x b (n - 1);
+  for i = 0 to n - 1 do
+    B.h b i;
+    for j = i + 1 to n - 1 do
+      (* Controlled phase 2pi / 2^(j-i+1); Rzz + local Rz realize the
+         diagonal part (global-phase equivalent of CPhase). *)
+      let theta = Float.pi /. float_of_int (1 lsl (j - i)) in
+      B.rz b (theta /. 2.) i;
+      B.rz b (theta /. 2.) j;
+      B.rzz b (-.theta /. 2.) i j
+    done
+  done;
+  measure_all b n;
+  B.build b
+
+let w_state_star n =
+  if n < 2 then invalid_arg "Extra.w_state_star: need at least 2 qubits";
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  (* Hub q0 spreads amplitude to the leaves; not a true W state but the
+     same star interaction shape, which is what reuse cares about. *)
+  B.h b 0;
+  for q = 1 to n - 1 do
+    B.cx b 0 q
+  done;
+  measure_all b n;
+  B.build b
+
+(* Cuccaro ripple-carry adder: wires [c0; a0..a(n-1); b0..b(n-1); z].
+   Inputs fixed to a = 2^n - 1 and b = 1, so b reads 0 and z reads 1. *)
+let ripple_adder n =
+  if n < 1 then invalid_arg "Extra.ripple_adder: need at least 1 bit";
+  let total = (2 * n) + 2 in
+  let b = B.create ~num_qubits:total ~num_clbits:total in
+  let a_q i = 1 + i in
+  let b_q i = 1 + n + i in
+  let z = (2 * n) + 1 in
+  let maj c y x =
+    B.cx b x y;
+    B.cx b x c;
+    Revlib.ccx b c y x
+  in
+  let uma c y x =
+    Revlib.ccx b c y x;
+    B.cx b x c;
+    B.cx b c y
+  in
+  for i = 0 to n - 1 do
+    B.x b (a_q i)
+  done;
+  B.x b (b_q 0);
+  maj 0 (b_q 0) (a_q 0);
+  for i = 1 to n - 1 do
+    maj (a_q (i - 1)) (b_q i) (a_q i)
+  done;
+  B.cx b (a_q (n - 1)) z;
+  for i = n - 1 downto 1 do
+    uma (a_q (i - 1)) (b_q i) (a_q i)
+  done;
+  uma 0 (b_q 0) (a_q 0);
+  measure_all b total;
+  B.build b

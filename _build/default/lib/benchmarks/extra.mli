@@ -1,0 +1,28 @@
+(** Benchmarks beyond the paper's Table 1, exercising the edges of the
+    reuse spectrum:
+
+    - {!ghz}: chain-shaped entangler — entanglement blocks mid-chain
+      reuse (every qubit's fate is correlated), a useful stress for
+      Condition 2;
+    - {!qft}: the quantum Fourier transform — its interaction graph is
+      complete, so Condition 1 fails for every pair and the applicability
+      detector must answer "no reuse possible";
+    - {!w_state_star}: star-shaped W-state preparation, reusable like BV;
+    - {!ripple_adder}: a small ripple-carry adder on 2n+2 qubits with
+      Toffoli chains, a deeper regular workload. *)
+
+(** [ghz n]: H + CX chain, all qubits measured. *)
+val ghz : int -> Quantum.Circuit.t
+
+(** [qft n]: Hadamards + controlled-phase ladder (as Cz/phase pairs),
+    all-to-all interaction, measured. *)
+val qft : int -> Quantum.Circuit.t
+
+(** [w_state_star n]: hub-and-leaves circuit distributing excitation
+    from a center qubit, measured. *)
+val w_state_star : int -> Quantum.Circuit.t
+
+(** [ripple_adder n]: adds two [n]-bit registers (inputs fixed to
+    a = 2^n - 1, b = 1, so the ideal output is deterministic). Uses
+    [2 n + 2] qubits. *)
+val ripple_adder : int -> Quantum.Circuit.t

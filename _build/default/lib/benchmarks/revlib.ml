@@ -1,0 +1,130 @@
+module B = Quantum.Circuit.Builder
+
+let t_gate b q = B.add b (Quantum.Gate.One_q (Quantum.Gate.T, q))
+let tdg_gate b q = B.add b (Quantum.Gate.One_q (Quantum.Gate.Tdg, q))
+
+(* Standard 6-CX Toffoli decomposition. *)
+let ccx b a c t =
+  B.h b t;
+  B.cx b c t;
+  tdg_gate b t;
+  B.cx b a t;
+  t_gate b t;
+  B.cx b c t;
+  tdg_gate b t;
+  B.cx b a t;
+  t_gate b c;
+  t_gate b t;
+  B.h b t;
+  B.cx b a c;
+  t_gate b a;
+  tdg_gate b c;
+  B.cx b a c
+
+let measure_all b n =
+  for q = 0 to n - 1 do
+    B.measure b q q
+  done
+
+(* rd32: full adder over inputs q0-q2 (set to 1,0,1); sum on q3, majority
+   carry on q4. *)
+let rd32 () =
+  let n = 5 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.x b 0;
+  B.x b 2;
+  B.cx b 0 3;
+  B.cx b 1 3;
+  B.cx b 2 3;
+  ccx b 0 1 4;
+  ccx b 0 2 4;
+  ccx b 1 2 4;
+  measure_all b n;
+  B.build b
+
+(* 4mod5: marks whether the 4-bit input (q0-q3, set to 9) is divisible by
+   5; result on q4. *)
+let four_mod5 () =
+  let n = 5 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.x b 0;
+  B.x b 3;
+  B.cx b 3 4;
+  B.cx b 0 4;
+  ccx b 0 1 4;
+  B.cx b 2 4;
+  ccx b 1 2 4;
+  B.cx b 1 4;
+  measure_all b n;
+  B.build b
+
+(* multiply_13: carry-less 3x3-bit multiplier, a = q0-q2 (=3), b = q3-q5
+   (=5), partial products XOR-accumulated into p = q6-q11, one carry
+   Toffoli into q12. *)
+let multiply_13 () =
+  let n = 13 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.x b 0;
+  B.x b 1;
+  B.x b 3;
+  B.x b 5;
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      ccx b i (3 + j) (6 + i + j)
+    done
+  done;
+  ccx b 7 8 12;
+  measure_all b n;
+  B.build b
+
+(* system_9: three Toffoli blocks chained by CX links, a layered
+   reversible pipeline. *)
+let system_9 () =
+  let n = 9 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.x b 0;
+  B.x b 1;
+  B.x b 4;
+  ccx b 0 1 2;
+  B.cx b 2 3;
+  ccx b 3 4 5;
+  B.cx b 5 6;
+  ccx b 6 7 8;
+  B.cx b 1 4;
+  B.cx b 4 7;
+  measure_all b n;
+  B.build b
+
+(* cc: counterfeit-coin-style star circuit; data qubits interrogate the
+   "balance" ancilla (wire n-1). *)
+let cc n =
+  if n < 2 then invalid_arg "Revlib.cc: need at least 2 qubits";
+  let anc = n - 1 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  for q = 0 to n - 2 do
+    B.h b q
+  done;
+  B.x b anc;
+  B.h b anc;
+  for q = 0 to n - 2 do
+    if q mod 2 = 0 then B.cx b q anc
+  done;
+  for q = 0 to n - 2 do
+    B.h b q
+  done;
+  B.h b anc;
+  measure_all b n;
+  B.build b
+
+(* xor5: parity of four inputs (q0-q3, set to 1,0,1,0) onto q4. *)
+let xor5 () =
+  let n = 5 in
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.x b 0;
+  B.x b 2;
+  B.cx b 0 4;
+  B.cx b 1 4;
+  B.cx b 2 4;
+  B.cx b 3 4;
+  measure_all b n;
+  B.build b

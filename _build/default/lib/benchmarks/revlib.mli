@@ -1,0 +1,29 @@
+(** Reconstructions of the paper's regular (non-commutable) benchmarks
+    (§4.1): Rd_32, 4mod5, Multiply_13, System_9, CC_10, XOR_5.
+
+    The original RevLib/QASMBench netlists are not redistributable here;
+    these reconstructions keep each benchmark's qubit count, two-qubit
+    interaction topology, and dependence shape (see DESIGN.md
+    substitutions). Toffolis use the standard 6-CX + T decomposition. All
+    circuits are computational-basis-deterministic, so the ideal output is
+    a single bitstring — matching how the paper scores TVD and success
+    rate on hardware. *)
+
+val rd32 : unit -> Quantum.Circuit.t
+
+val four_mod5 : unit -> Quantum.Circuit.t
+
+(** 3x3-bit shift-and-add multiplier sketch on 13 qubits. *)
+val multiply_13 : unit -> Quantum.Circuit.t
+
+(** 9-qubit layered reversible system benchmark. *)
+val system_9 : unit -> Quantum.Circuit.t
+
+(** [cc n] — counterfeit-coin-style circuit: star interaction graph like
+    BV but with an extra CX echo per data qubit. *)
+val cc : int -> Quantum.Circuit.t
+
+val xor5 : unit -> Quantum.Circuit.t
+
+(** Standard 6-CX Toffoli decomposition appended onto a builder. *)
+val ccx : Quantum.Circuit.Builder.t -> int -> int -> int -> unit

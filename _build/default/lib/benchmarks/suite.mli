@@ -1,0 +1,31 @@
+(** The paper's benchmark registry (§4.1): regular applications and
+    commutable-gate QAOA instances, addressable by the names used in
+    Tables 1–3. *)
+
+type kind =
+  | Regular  (** fixed gate dependence — QS/SR-CaQR regular path *)
+  | Commutable of Galg.Graph.t
+      (** QAOA: phase gates commute; carries the problem graph *)
+
+type entry = {
+  name : string;
+  kind : kind;
+  circuit : Quantum.Circuit.t;
+  description : string;
+}
+
+(** The regular benchmarks of Table 1: RD-32, 4mod5, Multiply_13,
+    System_9, BV_10, CC_10, XOR_5. *)
+val regular : unit -> entry list
+
+(** [qaoa ~seed n ~density] — "QAOA<n>-<density>" on a random graph. *)
+val qaoa : seed:int -> int -> density:float -> entry
+
+(** The QAOA entries of Table 1: sizes 5, 10, 15, 20, 25 at density 0.3. *)
+val qaoa_table1 : unit -> entry list
+
+(** All of Table 1: [regular () @ qaoa_table1 ()]. *)
+val table1 : unit -> entry list
+
+(** [find name] looks an entry up in [table1]. Raises [Not_found]. *)
+val find : string -> entry

@@ -1,0 +1,1 @@
+lib/core/commute.ml: Array Fun Galg List Option Quantum Reuse

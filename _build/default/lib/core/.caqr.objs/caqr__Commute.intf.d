@@ -1,0 +1,1 @@
+lib/core/commute.mli: Galg Quantum Reuse

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Commute Galg List Option Printf Qs_caqr Quantum Reuse Sr_caqr Transpiler

@@ -1,0 +1,1 @@
+lib/core/qs_caqr.mli: Quantum Reuse

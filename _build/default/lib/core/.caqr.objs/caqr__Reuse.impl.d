@@ -1,0 +1,1 @@
+lib/core/reuse.ml: Array Galg Int List Option Quantum Set

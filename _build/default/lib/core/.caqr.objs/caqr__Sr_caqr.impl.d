@@ -1,0 +1,1 @@
+lib/core/sr_caqr.ml: Array Commute Fun Hardware Hashtbl List Option Quantum Queue

@@ -1,0 +1,1 @@
+lib/core/sr_caqr.mli: Galg Hardware Quantum

@@ -1,0 +1,91 @@
+(** QS-CaQR for commutable-gate circuits (paper §3.2.2), e.g. the QAOA
+    phase layer: gates are the edges of a problem graph and may be freely
+    reordered, so reuse planning works on the interaction graph directly.
+
+    Qubits sharing a wire must be pairwise non-interacting, so the minimum
+    qubit count is bounded by graph coloring. Reuse pairs impose
+    "all gates of [src] before all gates of [dst]"; validity reduces to
+    acyclicity of the pair digraph (pair [p1] precedes [p2] when [p1]'s
+    dst equals or interacts with [p2]'s src). Candidate impact is
+    evaluated by the paper's 3-step scheduler: per round, a
+    maximum-weight matching of unblocked edges, gates touching
+    reuse sources prioritized. *)
+
+(** Minimum wires by graph coloring (paper's bound for commutable
+    circuits). *)
+val min_qubits : Galg.Graph.t -> int
+
+(** A reuse plan: an ordered chain partition of the vertices. Chains are
+    grown pair by pair; every chain's vertex set is independent in the
+    problem graph and the pair digraph stays acyclic. *)
+type plan
+
+val make : Galg.Graph.t -> plan
+
+val graph : plan -> Galg.Graph.t
+
+(** Applied pairs, oldest first. *)
+val pairs : plan -> Reuse.pair list
+
+(** Wires in use = number of chain heads. *)
+val usage : plan -> int
+
+(** [chain plan head] is the hosted vertex sequence of a wire. *)
+val chain : plan -> int -> int list
+
+(** Chain heads, ascending. *)
+val wires : plan -> int list
+
+(** [valid_merge plan ~src ~dst]: [src] is a chain tail, [dst] a chain
+    head of a different chain, the union stays independent, and the pair
+    digraph stays acyclic. *)
+val valid_merge : plan -> src:int -> dst:int -> bool
+
+(** [merge plan ~src ~dst] applies the pair (copy-on-write; the original
+    plan is untouched). Raises [Invalid_argument] if invalid. *)
+val merge : plan -> src:int -> dst:int -> plan
+
+(** Number of scheduler rounds (parallel two-qubit-gate layers) the plan
+    needs — the paper's pair-impact metric. [exact] (default when the
+    graph has at most 32 vertices) uses blossom matching; otherwise a
+    two-pass greedy. *)
+val schedule_rounds : ?exact:bool -> plan -> int
+
+(** Emit the transformed single-layer QAOA circuit: H walls, scheduled
+    [Rzz gamma] gates, [Rx (2 beta)] mixers, per-vertex measurement into
+    clbit = vertex, and measure + conditional-X resets between chain
+    occupants. Wires are renamed onto chain heads; clbits keep vertex
+    identity so max-cut scoring is unchanged. *)
+val emit : ?gamma:float -> ?beta:float -> plan -> Quantum.Circuit.t
+
+(** One greedy reduction step: merge the candidate with the best score
+    ([`Exact] = scheduler rounds, used for small graphs; [`Heuristic] =
+    lowest combined wire load). [None] when no valid merge exists. *)
+val reduce_once : ?mode:[ `Exact | `Heuristic | `Auto ] -> plan -> plan option
+
+(** [plan_with_budget g ~budget] builds a reuse plan that fits in
+    [budget] wires by capacity-constrained list scheduling: qubits bind
+    to a wire at their first gate and recycle it after their last, so
+    chain orders are feasible by construction — incremental merging
+    cannot reach deep reductions because it freezes chain orders too
+    early. [None] when the greedy schedule deadlocks at this budget. *)
+val plan_with_budget : Galg.Graph.t -> budget:int -> plan option
+
+type step = {
+  usage : int;
+  plan : plan;
+  depth : int;
+  duration : int;
+  two_q : int;
+}
+
+(** Full reduction trajectory from [n] wires down to [stop_at] (or the
+    minimum reachable), with emitted-circuit metrics at each point —
+    the data behind Figs. 3 and 14. *)
+val sweep :
+  ?mode:[ `Exact | `Heuristic | `Auto ] ->
+  ?stop_at:int ->
+  ?gamma:float ->
+  ?beta:float ->
+  Galg.Graph.t ->
+  step list

@@ -1,0 +1,148 @@
+type input = Regular of Quantum.Circuit.t | Commutable of Galg.Graph.t
+
+type strategy =
+  | Baseline
+  | Qs_max_reuse
+  | Qs_min_depth
+  | Qs_best_fidelity
+  | Qs_target of int
+  | Sr
+
+type report = {
+  strategy : strategy;
+  logical : Quantum.Circuit.t;
+  physical : Quantum.Circuit.t;
+  stats : Transpiler.Transpile.stats;
+  reuse_pairs : int;
+}
+
+let strategy_name = function
+  | Baseline -> "baseline"
+  | Qs_max_reuse -> "qs-max-reuse"
+  | Qs_min_depth -> "qs-min-depth"
+  | Qs_best_fidelity -> "qs-best-fidelity"
+  | Qs_target n -> Printf.sprintf "qs-target-%d" n
+  | Sr -> "sr"
+
+let logical_of_input = function
+  | Regular c -> c
+  | Commutable g -> Commute.emit (Commute.make g)
+
+(* Route a (possibly reuse-transformed) logical circuit with the baseline
+   mapper and collect stats. *)
+let finish device strategy logical reuse_pairs =
+  let compacted, _ = Quantum.Circuit.compact_qubits logical in
+  let routed = Transpiler.Transpile.run device compacted in
+  {
+    strategy;
+    logical;
+    physical = routed.Transpiler.Transpile.physical;
+    stats = routed.Transpiler.Transpile.stats;
+    reuse_pairs;
+  }
+
+let qs_steps input =
+  match input with
+  | Regular c ->
+    List.map
+      (fun (s : Qs_caqr.step) -> (s.Qs_caqr.circuit, List.length s.Qs_caqr.pairs))
+      (Qs_caqr.sweep c)
+  | Commutable g ->
+    List.map
+      (fun (s : Commute.step) ->
+        (Commute.emit s.Commute.plan, List.length (Commute.pairs s.Commute.plan)))
+      (Commute.sweep g)
+
+let compile device strategy input =
+  match strategy with
+  | Baseline -> finish device strategy (logical_of_input input) 0
+  | Sr ->
+    let r =
+      match input with
+      | Regular c -> Sr_caqr.regular device c
+      | Commutable g -> Sr_caqr.commutable device g
+    in
+    {
+      strategy;
+      logical = logical_of_input input;
+      physical = r.Sr_caqr.physical;
+      stats = Transpiler.Transpile.stats_of device r.Sr_caqr.physical;
+      reuse_pairs = r.Sr_caqr.reuses;
+    }
+  | Qs_max_reuse ->
+    (match input with
+     | Regular c ->
+       let reused = Qs_caqr.max_reuse c in
+       finish device strategy reused
+         (Quantum.Circuit.mid_circuit_measurements reused)
+     | Commutable _ ->
+       (match List.rev (qs_steps input) with
+        | (c, n) :: _ -> finish device strategy c n
+        | [] -> invalid_arg "Pipeline.compile: empty sweep"))
+  | Qs_min_depth ->
+    let candidates =
+      List.map (fun (c, n) -> finish device strategy c n) (qs_steps input)
+    in
+    (match
+       List.sort
+         (fun a b ->
+           compare a.stats.Transpiler.Transpile.depth b.stats.Transpiler.Transpile.depth)
+         candidates
+     with
+     | best :: _ -> best
+     | [] -> invalid_arg "Pipeline.compile: empty sweep")
+  | Qs_best_fidelity ->
+    (* The paper's tunable objective: pick the reuse level whose compiled
+       circuit maximizes estimated success probability. *)
+    let candidates =
+      List.map (fun (c, n) -> finish device strategy c n) (qs_steps input)
+    in
+    (match
+       List.sort
+         (fun a b ->
+           compare
+             (Transpiler.Esp.of_circuit device b.physical)
+             (Transpiler.Esp.of_circuit device a.physical))
+         candidates
+     with
+     | best :: _ -> best
+     | [] -> invalid_arg "Pipeline.compile: empty sweep")
+  | Qs_target target ->
+    let found =
+      match input with
+      | Regular c ->
+        Option.map
+          (fun (c', pairs) -> (c', List.length pairs))
+          (Qs_caqr.search ~target c)
+      | Commutable _ ->
+        List.find_opt (fun (c, _) -> Reuse.qubit_usage c <= target) (qs_steps input)
+    in
+    (match found with
+     | Some (c, n) -> finish device strategy c n
+     | None ->
+       failwith
+         (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
+
+let beneficial device input =
+  match input with
+  | Commutable g ->
+    let n = Galg.Graph.order g in
+    let k = Commute.min_qubits g in
+    if k < n then
+      (true, Printf.sprintf "graph coloring: %d qubits suffice for %d vertices" k n)
+    else (false, "interaction graph is complete: no reuse possible")
+  | Regular c ->
+    (match Qs_caqr.opportunity c with
+     | None -> (false, "no valid reuse pair (conditions 1-2 fail everywhere)")
+     | Some p ->
+       let baseline = compile device Baseline input in
+       let sr = compile device Sr input in
+       let better =
+         sr.stats.Transpiler.Transpile.swaps <= baseline.stats.Transpiler.Transpile.swaps
+       in
+       ( true,
+         Printf.sprintf
+           "reuse pair q%d->q%d exists; SR-CaQR swaps %d vs baseline %d%s"
+           p.Reuse.src p.Reuse.dst sr.stats.Transpiler.Transpile.swaps
+           baseline.stats.Transpiler.Transpile.swaps
+           (if better then " (wins or ties)" else "") ))

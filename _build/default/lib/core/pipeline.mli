@@ -1,0 +1,37 @@
+(** The user-facing CaQR entry points: pick a strategy, get a compiled
+    circuit plus the metrics the paper's evaluation reports. *)
+
+(** Input classification: regular circuits carry their dependence in the
+    gate order; commutable instances carry the problem graph whose edges
+    are freely reorderable phase gates (QAOA). *)
+type input =
+  | Regular of Quantum.Circuit.t
+  | Commutable of Galg.Graph.t
+
+type strategy =
+  | Baseline  (** no reuse: layout + SABRE routing ("Qiskit O3" stand-in) *)
+  | Qs_max_reuse  (** QS-CaQR driven to the fewest qubits *)
+  | Qs_min_depth  (** QS-CaQR version with the best compiled depth *)
+  | Qs_best_fidelity
+      (** QS-CaQR version maximizing estimated success probability
+          (the paper's fidelity-tuned objective) *)
+  | Qs_target of int  (** QS-CaQR at a user qubit budget *)
+  | Sr  (** SR-CaQR lazy mapping *)
+
+type report = {
+  strategy : strategy;
+  logical : Quantum.Circuit.t;  (** after reuse transformation *)
+  physical : Quantum.Circuit.t;
+  stats : Transpiler.Transpile.stats;
+  reuse_pairs : int;
+}
+
+(** [compile device strategy input]. [Qs_target] raises [Failure] when
+    the budget is unreachable. *)
+val compile : Hardware.Device.t -> strategy -> input -> report
+
+(** The paper's applicability test: does reuse help this input at all?
+    Returns a human-readable verdict along with the boolean. *)
+val beneficial : Hardware.Device.t -> input -> bool * string
+
+val strategy_name : strategy -> string

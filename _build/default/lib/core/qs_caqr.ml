@@ -1,0 +1,141 @@
+type objective = Depth | Duration
+
+type step = {
+  usage : int;
+  circuit : Quantum.Circuit.t;
+  pairs : Reuse.pair list;
+  logical_depth : int;
+  logical_duration : int;
+}
+
+let score objective analysis pair =
+  match objective with
+  | Depth -> Reuse.predict_depth analysis pair
+  | Duration -> Reuse.predict_duration analysis pair
+
+let best_pair objective circuit =
+  let analysis = Reuse.analyze circuit in
+  let candidates = Reuse.valid_pairs analysis in
+  List.fold_left
+    (fun best pair ->
+      let s = score objective analysis pair in
+      (* Tie-break on the other metric to keep choices deterministic and
+         sensible. *)
+      let s2 =
+        match objective with
+        | Depth -> Reuse.predict_duration analysis pair
+        | Duration -> Reuse.predict_depth analysis pair
+      in
+      match best with
+      | Some (_, s', s2') when (s', s2') <= (s, s2) -> best
+      | _ -> Some (pair, s, s2))
+    None candidates
+  |> Option.map (fun (pair, _, _) -> pair)
+
+let reduce_once ?(objective = Depth) circuit =
+  match best_pair objective circuit with
+  | None -> None
+  | Some pair -> Some (pair, Reuse.apply circuit pair)
+
+let model = Quantum.Duration.default
+
+let make_step circuit pairs =
+  {
+    usage = Reuse.qubit_usage circuit;
+    circuit;
+    pairs;
+    logical_depth = Quantum.Circuit.depth circuit;
+    logical_duration = Quantum.Circuit.duration model circuit;
+  }
+
+(* Greedy-by-score reduction can paint itself into a corner (e.g. two
+   parallel reuse chains whose gates interleave on a shared partner can
+   never merge afterwards), so budget-bounded DFS backtracking is used
+   when a hard qubit target must be reached. Candidates are still tried
+   best-score-first, so the first solution found is the greedy one
+   whenever greedy succeeds. *)
+(* Candidate orderings for the backtracking search. [`Score] is the
+   greedy objective order; [`Chain] reuses the earliest-finishing wire
+   first, which builds serial chains (the paper's Fig. 1 construction)
+   and keeps merge options open for deep reductions. *)
+let ordered_candidates order objective analysis =
+  let key p =
+    match order with
+    | `Score -> (score objective analysis p, 0)
+    | `Chain ->
+      (Reuse.src_finish_depth analysis p, Reuse.dst_start_depth analysis p)
+  in
+  List.sort
+    (fun a b -> compare (key a) (key b))
+    (Reuse.valid_pairs analysis)
+
+let search_with order objective budget target circuit =
+  let nodes = ref 0 in
+  let rec go circuit pairs =
+    if Reuse.qubit_usage circuit <= target then Some (circuit, List.rev pairs)
+    else if !nodes > budget then None
+    else begin
+      let analysis = Reuse.analyze circuit in
+      let rec attempt = function
+        | [] -> None
+        | p :: rest ->
+          incr nodes;
+          if !nodes > budget then None
+          else begin
+            match go (Reuse.apply circuit p) (p :: pairs) with
+            | Some r -> Some r
+            | None -> attempt rest
+          end
+      in
+      attempt (ordered_candidates order objective analysis)
+    end
+  in
+  go circuit []
+
+let search ?(objective = Depth) ?(budget = 400) ?(order = `Both) ~target circuit
+    =
+  match order with
+  | `Score -> search_with `Score objective budget target circuit
+  | `Chain -> search_with `Chain objective budget target circuit
+  | `Both -> (
+    match search_with `Score objective budget target circuit with
+    | Some r -> Some r
+    | None -> search_with `Chain objective budget target circuit)
+
+(* The tradeoff sweep re-searches from the original circuit for every
+   qubit limit (the paper: "for each application, we tried different qubit
+   limit numbers, and generate different compiled circuits"). A fresh
+   search per target avoids greedy dead ends polluting deeper points:
+   reaching k - 1 always passes through some k-qubit circuit, so the sweep
+   stops at the first unreachable target. *)
+let sweep ?(objective = Depth) ?(stop_at = 1) circuit =
+  let base = make_step circuit [] in
+  let rec go target acc =
+    if target < stop_at then List.rev acc
+    else
+      match search ~objective ~target circuit with
+      | Some (c, pairs) ->
+        let step = make_step c pairs in
+        go (step.usage - 1) (step :: acc)
+      | None -> List.rev acc
+  in
+  go (base.usage - 1) [ base ]
+
+let reduce_to ?(objective = Depth) ~target circuit =
+  Option.map fst (search ~objective ~target circuit)
+
+let min_qubits ?(objective = Depth) circuit =
+  match List.rev (sweep ~objective circuit) with
+  | last :: _ -> last.usage
+  | [] -> Reuse.qubit_usage circuit
+
+let max_reuse ?(objective = Depth) circuit =
+  match reduce_to ~objective ~target:(min_qubits ~objective circuit) circuit with
+  | Some c -> c
+  | None -> circuit
+
+let opportunity circuit =
+  let analysis = Reuse.analyze circuit in
+  match Reuse.valid_pairs analysis with
+  | [] -> None
+  | p :: _ -> Some p

@@ -1,0 +1,62 @@
+(** QS-CaQR: qubit-saving qubit reuse for regular circuits (paper §3.2.1).
+
+    Strategy: start from the original qubit count and retire one qubit per
+    step by applying the valid reuse pair whose predicted critical path is
+    smallest, until the user's budget is met or no valid pair remains.
+    A full sweep keeps every intermediate version so callers can pick the
+    maximal-reuse or minimal-depth point (Table 1) or plot the
+    qubit-vs-depth tradeoff (Figs. 3, 13, 14). *)
+
+type objective = Depth | Duration
+
+(** One point of the reduction sweep. *)
+type step = {
+  usage : int;  (** active qubits after the reuses so far *)
+  circuit : Quantum.Circuit.t;
+  pairs : Reuse.pair list;  (** applied so far, oldest first *)
+  logical_depth : int;
+  logical_duration : int;
+}
+
+(** [reduce_once ?objective circuit] applies the best single reuse, or
+    [None] when no valid pair exists. *)
+val reduce_once :
+  ?objective:objective -> Quantum.Circuit.t -> (Reuse.pair * Quantum.Circuit.t) option
+
+(** [sweep ?objective ?stop_at circuit] returns the full reduction
+    trajectory, starting with the untouched circuit and ending at
+    [stop_at] (default: as low as possible). *)
+val sweep : ?objective:objective -> ?stop_at:int -> Quantum.Circuit.t -> step list
+
+(** [search ?objective ?budget ~target circuit] finds a reuse sequence
+    reaching [target] qubits, trying candidates best-score-first with
+    budgeted DFS backtracking — greedy alone can trap itself (two parallel
+    chains interleaved on a shared partner can never merge later). Returns
+    the transformed circuit and the applied pairs.
+    [order] restricts the candidate ordering: [`Score] is pure greedy on
+    the objective, [`Chain] pairs the earliest-finishing wire with the
+    earliest-starting qubit (the Fig. 1 serial construction), [`Both]
+    (default) falls back from the first to the second — exposed
+    separately so the ablation bench can compare them. *)
+val search :
+  ?objective:objective ->
+  ?budget:int ->
+  ?order:[ `Score | `Chain | `Both ] ->
+  target:int ->
+  Quantum.Circuit.t ->
+  (Quantum.Circuit.t * Reuse.pair list) option
+
+(** [reduce_to ?objective ~target circuit] answers the paper's user query:
+    "can this circuit run on [target] qubits?" — [Some circuit'] or [None]. *)
+val reduce_to :
+  ?objective:objective -> target:int -> Quantum.Circuit.t -> Quantum.Circuit.t option
+
+(** Fewest qubits reachable (greedy tightened by backtracking search). *)
+val min_qubits : ?objective:objective -> Quantum.Circuit.t -> int
+
+(** The maximal-reuse version of the circuit ([min_qubits] wires). *)
+val max_reuse : ?objective:objective -> Quantum.Circuit.t -> Quantum.Circuit.t
+
+(** Is there any reuse opportunity at all? (The paper's applicability
+    test: tools report "no benefit" when this is [None].) *)
+val opportunity : Quantum.Circuit.t -> Reuse.pair option

@@ -1,0 +1,224 @@
+type pair = { src : int; dst : int }
+
+type analysis = {
+  circuit : Quantum.Circuit.t;
+  dag : Quantum.Dag.t;
+  reach : Quantum.Reachability.t;
+  inter : Galg.Graph.t;
+  active : bool array;
+  (* earliest finish / longest tail per gate, in unit depth and in dt *)
+  ef_depth : int array;
+  tail_depth : int array;
+  ef_dur : int array;
+  tail_dur : int array;
+  cp_depth : int;
+  cp_dur : int;
+  model : Quantum.Duration.t;
+}
+
+let forward_times dag weight =
+  let n = Quantum.Dag.num_nodes dag in
+  let finish = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let start =
+      List.fold_left (fun acc p -> max acc finish.(p)) 0 (Quantum.Dag.preds dag i)
+    in
+    finish.(i) <- start + weight i;
+    if finish.(i) > !total then total := finish.(i)
+  done;
+  (finish, !total)
+
+let backward_times dag weight =
+  let n = Quantum.Dag.num_nodes dag in
+  (* tail.(i): longest weighted path starting at (and including) gate i *)
+  let tail = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let after =
+      List.fold_left (fun acc s -> max acc tail.(s)) 0 (Quantum.Dag.succs dag i)
+    in
+    tail.(i) <- after + weight i
+  done;
+  tail
+
+let analyze circuit =
+  let dag = Quantum.Dag.build circuit in
+  let model = Quantum.Duration.default in
+  let weight_depth i =
+    if Quantum.Gate.is_barrier circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind
+    then 0
+    else 1
+  in
+  let weight_dur i =
+    Quantum.Duration.of_kind model circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind
+  in
+  let ef_depth, cp_depth = forward_times dag weight_depth in
+  let ef_dur, cp_dur = forward_times dag weight_dur in
+  let tail_depth = backward_times dag weight_depth in
+  let tail_dur = backward_times dag weight_dur in
+  let active = Array.make circuit.Quantum.Circuit.num_qubits false in
+  List.iter (fun q -> active.(q) <- true) (Quantum.Circuit.active_qubits circuit);
+  {
+    circuit;
+    dag;
+    reach = Quantum.Reachability.build dag;
+    inter = Quantum.Circuit.interaction_graph circuit;
+    active;
+    ef_depth;
+    tail_depth;
+    ef_dur;
+    tail_dur;
+    cp_depth;
+    cp_dur;
+    model;
+  }
+
+let condition1 a { src; dst } = not (Galg.Graph.has_edge a.inter src dst)
+
+let condition2 a { src; dst } =
+  (* No gate on dst may reach a gate on src. *)
+  not
+    (Quantum.Reachability.any_path a.reach
+       (Quantum.Dag.gates_on_qubit a.dag dst)
+       (Quantum.Dag.gates_on_qubit a.dag src))
+
+let valid a ({ src; dst } as p) =
+  src <> dst
+  && src >= 0
+  && dst >= 0
+  && src < Array.length a.active
+  && dst < Array.length a.active
+  && a.active.(src)
+  && a.active.(dst)
+  && condition1 a p
+  && condition2 a p
+
+let valid_pairs a =
+  let k = Array.length a.active in
+  let acc = ref [] in
+  for src = k - 1 downto 0 do
+    for dst = k - 1 downto 0 do
+      let p = { src; dst } in
+      if valid a p then acc := p :: !acc
+    done
+  done;
+  !acc
+
+(* Does the wire already end in a measurement? Then the reset is a single
+   conditional X driven by that clbit; otherwise a fresh measure + X pair
+   is spliced in. *)
+let src_ends_measured a src =
+  match List.rev (Quantum.Dag.gates_on_qubit a.dag src) with
+  | last :: _ ->
+    (match a.circuit.Quantum.Circuit.gates.(last).Quantum.Gate.kind with
+     | Quantum.Gate.Measure _ -> true
+     | _ -> false)
+  | [] -> false
+
+let predict ~ef ~tail ~cp ~reset_cost a { src; dst } =
+  let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
+  let d_gates = Quantum.Dag.gates_on_qubit a.dag dst in
+  let max_ef = List.fold_left (fun acc g -> max acc ef.(g)) 0 s_gates in
+  let max_tail = List.fold_left (fun acc g -> max acc tail.(g)) 0 d_gates in
+  max cp (max_ef + reset_cost + max_tail)
+
+let src_finish_depth a { src; dst = _ } =
+  List.fold_left
+    (fun acc g -> max acc a.ef_depth.(g))
+    0
+    (Quantum.Dag.gates_on_qubit a.dag src)
+
+let dst_start_depth a { src = _; dst } =
+  match Quantum.Dag.gates_on_qubit a.dag dst with
+  | [] -> 0
+  | gates -> List.fold_left (fun acc g -> min acc a.ef_depth.(g)) max_int gates
+
+let predict_depth a p =
+  (* A measured wire only needs the conditional X (1 layer); otherwise the
+     spliced measure + conditional X costs 2. *)
+  let reset_cost = if src_ends_measured a p.src then 1 else 2 in
+  predict ~ef:a.ef_depth ~tail:a.tail_depth ~cp:a.cp_depth ~reset_cost a p
+
+let predict_duration ?model a p =
+  let model = Option.value ~default:a.model model in
+  let reset_cost =
+    if src_ends_measured a p.src then model.Quantum.Duration.if_x
+    else Quantum.Duration.measure_cond_x model
+  in
+  predict ~ef:a.ef_dur ~tail:a.tail_dur ~cp:a.cp_dur ~reset_cost a p
+
+(* Kahn topological emission with min-gate-id priority, honoring the extra
+   [src gates -> reset node -> dst gates] constraints. *)
+let apply (circuit : Quantum.Circuit.t) ({ src; dst } as p) =
+  let a = analyze circuit in
+  if not (valid a p) then invalid_arg "Reuse.apply: invalid pair";
+  let n = Quantum.Dag.num_nodes a.dag in
+  let dummy = n in
+  let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
+  let d_gates = Quantum.Dag.gates_on_qubit a.dag dst in
+  (* Does src already end in a measurement? Then its clbit drives the
+     conditional reset and no new measure (or clbit) is needed. *)
+  let last_src = List.fold_left max (-1) s_gates in
+  let existing_clbit =
+    match circuit.Quantum.Circuit.gates.(last_src).Quantum.Gate.kind with
+    | Quantum.Gate.Measure (_, c) -> Some c
+    | _ -> None
+  in
+  let num_clbits =
+    match existing_clbit with
+    | Some _ -> circuit.Quantum.Circuit.num_clbits
+    | None -> circuit.Quantum.Circuit.num_clbits + 1
+  in
+  let reset_clbit =
+    match existing_clbit with
+    | Some c -> c
+    | None -> circuit.Quantum.Circuit.num_clbits
+  in
+  (* Successor lists including the dummy node. *)
+  let succs = Array.make (n + 1) [] in
+  let indeg = Array.make (n + 1) 0 in
+  let add_edge u v =
+    succs.(u) <- v :: succs.(u);
+    indeg.(v) <- indeg.(v) + 1
+  in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> add_edge i j) (Quantum.Dag.succs a.dag i)
+  done;
+  List.iter (fun g -> add_edge g dummy) s_gates;
+  List.iter (fun g -> add_edge dummy g) d_gates;
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  for i = 0 to n do
+    if indeg.(i) = 0 then ready := Iset.add i !ready
+  done;
+  let rename q = if q = dst then src else q in
+  let rev_kinds = ref [] in
+  let emitted = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let i = Iset.min_elt !ready in
+    ready := Iset.remove i !ready;
+    incr emitted;
+    if i = dummy then begin
+      (match existing_clbit with
+       | Some _ -> ()
+       | None ->
+         rev_kinds := Quantum.Gate.Measure (src, reset_clbit) :: !rev_kinds);
+      rev_kinds := Quantum.Gate.If_x (reset_clbit, src) :: !rev_kinds
+    end
+    else begin
+      let kind = circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind in
+      rev_kinds := Quantum.Gate.map_qubits rename kind :: !rev_kinds
+    end;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then ready := Iset.add j !ready)
+      succs.(i)
+  done;
+  if !emitted <> n + 1 then
+    invalid_arg "Reuse.apply: reuse would create a dependence cycle";
+  Quantum.Circuit.of_kinds ~num_qubits:circuit.Quantum.Circuit.num_qubits
+    ~num_clbits
+    (List.rev !rev_kinds)
+
+let qubit_usage circuit = List.length (Quantum.Circuit.active_qubits circuit)

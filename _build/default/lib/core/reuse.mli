@@ -1,0 +1,59 @@
+(** Qubit-reuse conditions and the measure-and-reset circuit transform —
+    the heart of CaQR (paper §3.1, §3.2.1).
+
+    A reuse pair [(src -> dst)] means logical qubit [src] finishes all of
+    its gates, is measured and conditionally reset, and then hosts every
+    gate of logical qubit [dst]. Valid iff:
+
+    - Condition 1: no gate couples [src] and [dst];
+    - Condition 2: no gate on [src] transitively depends on a gate on
+      [dst] (otherwise inserting the reset node closes a cycle). *)
+
+type pair = { src : int; dst : int }
+
+(** Everything the analyses need, built once per circuit. *)
+type analysis
+
+val analyze : Quantum.Circuit.t -> analysis
+
+(** Condition 1 for a pair. *)
+val condition1 : analysis -> pair -> bool
+
+(** Condition 2 for a pair. *)
+val condition2 : analysis -> pair -> bool
+
+(** [valid analysis pair]: both qubits active, distinct, Conditions 1–2. *)
+val valid : analysis -> pair -> bool
+
+(** All valid pairs over active qubits. O(k^2) validity checks backed by
+    the O(n^2) reachability closure, matching the paper's §3.4 analysis. *)
+val valid_pairs : analysis -> pair list
+
+(** [predict_depth analysis pair] is the circuit depth after applying
+    [pair], computed exactly on the DAG (the spliced reset node only adds
+    paths through itself, so the new critical path is
+    [max original (max EF(src gates) + reset + max tail(dst gates))])
+    without rebuilding the circuit. *)
+val predict_depth : analysis -> pair -> int
+
+(** Same, weighted by gate durations in dt. *)
+val predict_duration : ?model:Quantum.Duration.t -> analysis -> pair -> int
+
+(** Depth layer at which [pair.src]'s last gate completes — chains built
+    by always retiring the earliest-finishing wire stay serial. *)
+val src_finish_depth : analysis -> pair -> int
+
+(** Depth layer at which [pair.dst]'s first gate completes. Serial chains
+    pair the earliest finisher with the earliest starter. *)
+val dst_start_depth : analysis -> pair -> int
+
+(** [apply circuit pair] rebuilds the circuit with the reuse applied:
+    [dst]'s gates are rewired onto [src] after a measure + conditional-X
+    reset (a fresh scratch clbit is allocated unless [src] already ends in
+    a measurement, in which case its existing clbit drives the reset —
+    Fig. 2 (b)). The [dst] wire is left empty; callers compact when done.
+    Raises [Invalid_argument] on an invalid pair. *)
+val apply : Quantum.Circuit.t -> pair -> Quantum.Circuit.t
+
+(** Number of active qubits (the "qubit usage" the paper reports). *)
+val qubit_usage : Quantum.Circuit.t -> int

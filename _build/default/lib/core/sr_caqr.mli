@@ -1,0 +1,27 @@
+(** SR-CaQR: SWAP-reduction-first compilation (paper §3.3).
+
+    Unlike QS-CaQR (transform first, then map), SR-CaQR compiles layer by
+    layer and maps logical qubits lazily: a gate off the critical path
+    whose qubits are unmapped is delayed, so when its qubit finally must
+    be placed the mapper can choose among fresh physical qubits *and*
+    physical qubits already retired by earlier logical qubits (qubit
+    reuse as a side effect). Placement minimizes distance to the mapped
+    partner with readout/CNOT-error tie-breaks; non-adjacent mapped pairs
+    get heuristic SWAPs. *)
+
+type result = {
+  physical : Quantum.Circuit.t;
+  swaps_added : int;
+  qubits_used : int;  (** distinct physical qubits touched *)
+  reuses : int;  (** logical qubits placed onto reclaimed physical qubits *)
+}
+
+(** Compile a regular circuit onto a device. *)
+val regular : Hardware.Device.t -> Quantum.Circuit.t -> result
+
+(** Compile a commutable (QAOA) instance: pick the reuse sweet spot with
+    QS-CaQR's commutable path ([Commute.sweep], minimal-depth point up to
+    [max_reuse] merges), emit the partially-ordered circuit, then run the
+    same lazy mapper (paper §3.3.2). *)
+val commutable :
+  ?gamma:float -> ?beta:float -> Hardware.Device.t -> Galg.Graph.t -> result

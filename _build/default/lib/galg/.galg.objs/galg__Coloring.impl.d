@@ -1,0 +1,1 @@
+lib/galg/coloring.ml: Array Fun Graph Int List Set

@@ -1,0 +1,1 @@
+lib/galg/coloring.mli: Graph

@@ -1,0 +1,1 @@
+lib/galg/gen.ml: Array Float Graph List Random

@@ -1,0 +1,1 @@
+lib/galg/gen.mli: Graph

@@ -1,0 +1,1 @@
+lib/galg/graph.ml: Array Format Int List Queue Set

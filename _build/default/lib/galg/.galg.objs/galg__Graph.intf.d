@@ -1,0 +1,1 @@
+lib/galg/graph.mli: Format

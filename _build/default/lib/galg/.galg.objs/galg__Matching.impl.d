@@ -1,0 +1,1 @@
+lib/galg/matching.ml: Array Fun Graph List Queue

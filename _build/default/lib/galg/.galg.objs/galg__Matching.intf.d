@@ -1,0 +1,1 @@
+lib/galg/matching.mli: Graph

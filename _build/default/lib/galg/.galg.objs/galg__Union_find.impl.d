@@ -1,0 +1,1 @@
+lib/galg/union_find.ml: Array Fun

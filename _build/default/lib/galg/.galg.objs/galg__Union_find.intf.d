@@ -1,0 +1,1 @@
+lib/galg/union_find.mli:

@@ -1,0 +1,93 @@
+type result = { colors : int array; count : int }
+
+let smallest_available g colors v =
+  let used = Array.make (Graph.degree g v + 1) false in
+  List.iter
+    (fun w ->
+      let c = colors.(w) in
+      if c >= 0 && c < Array.length used then used.(c) <- true)
+    (Graph.neighbors g v);
+  let rec find c = if c < Array.length used && used.(c) then find (c + 1) else c in
+  find 0
+
+let greedy ~order g =
+  let n = Graph.order g in
+  let colors = Array.make n (-1) in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      let c = smallest_available g colors v in
+      colors.(v) <- c;
+      if c + 1 > !count then count := c + 1)
+    order;
+  (* Vertices omitted from [order] default to color 0. *)
+  Array.iteri
+    (fun v c ->
+      if c < 0 then begin
+        colors.(v) <- smallest_available g colors v;
+        if colors.(v) + 1 > !count then count := colors.(v) + 1
+      end)
+    colors;
+  if n > 0 && !count = 0 then count := 1;
+  { colors; count = !count }
+
+let dsatur g =
+  let n = Graph.order g in
+  let colors = Array.make n (-1) in
+  let count = ref 0 in
+  if n > 0 then begin
+    let saturation = Array.make n 0 in
+    let module Iset = Set.Make (Int) in
+    let neighbor_colors = Array.make n Iset.empty in
+    for _ = 1 to n do
+      (* Pick the uncolored vertex with max saturation, ties by degree. *)
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if colors.(v) < 0 then
+          if
+            !best < 0
+            || saturation.(v) > saturation.(!best)
+            || (saturation.(v) = saturation.(!best)
+               && Graph.degree g v > Graph.degree g !best)
+          then best := v
+      done;
+      let v = !best in
+      let c = smallest_available g colors v in
+      colors.(v) <- c;
+      if c + 1 > !count then count := c + 1;
+      List.iter
+        (fun w ->
+          if colors.(w) < 0 && not (Iset.mem c neighbor_colors.(w)) then begin
+            neighbor_colors.(w) <- Iset.add c neighbor_colors.(w);
+            saturation.(w) <- saturation.(w) + 1
+          end)
+        (Graph.neighbors g v)
+    done;
+    if !count = 0 then count := 1
+  end;
+  { colors; count = !count }
+
+let by_decreasing_degree g =
+  let vs = List.init (Graph.order g) Fun.id in
+  List.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) vs
+
+let best g =
+  let a = dsatur g in
+  let b = greedy ~order:(by_decreasing_degree g) g in
+  if a.count <= b.count then a else b
+
+let is_proper g r =
+  let ok = ref (Array.length r.colors = Graph.order g) in
+  Array.iter (fun c -> if c < 0 || c >= r.count then ok := false) r.colors;
+  List.iter
+    (fun (u, v) -> if r.colors.(u) = r.colors.(v) then ok := false)
+    (Graph.edges g);
+  !ok
+
+let color_classes r =
+  let groups = Array.make r.count [] in
+  for v = Array.length r.colors - 1 downto 0 do
+    let c = r.colors.(v) in
+    groups.(c) <- v :: groups.(c)
+  done;
+  groups

@@ -1,0 +1,29 @@
+(** Graph coloring.
+
+    The paper (§3.2.2) uses graph coloring of the qubit interaction graph to
+    lower-bound the number of qubits a commutable-gate circuit needs: qubits
+    sharing a color never interact, so one physical wire can serve all of
+    them sequentially. *)
+
+(** A proper coloring: [colors.(v)] is the color of vertex [v], and
+    [count] is the number of distinct colors used. *)
+type result = { colors : int array; count : int }
+
+(** Greedy coloring scanning vertices in the given order (smallest available
+    color). *)
+val greedy : order:int list -> Graph.t -> result
+
+(** DSATUR heuristic (saturation-degree order); typically uses no more
+    colors than [greedy] with the natural order. *)
+val dsatur : Graph.t -> result
+
+(** Best of DSATUR and greedy-by-decreasing-degree; the qubit bound used by
+    QS-CaQR for commutable circuits. *)
+val best : Graph.t -> result
+
+(** [is_proper g r] checks that no edge is monochromatic and every color is
+    in [0 .. count - 1]. *)
+val is_proper : Graph.t -> result -> bool
+
+(** Vertices grouped by color, [groups.(c)] in increasing vertex order. *)
+val color_classes : result -> int list array

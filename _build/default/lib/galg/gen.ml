@@ -1,0 +1,107 @@
+let edge_budget n ~density =
+  let pairs = n * (n - 1) / 2 in
+  int_of_float (Float.round (density *. float_of_int pairs))
+
+let random ~seed n ~density =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let target = edge_budget n ~density in
+  let g = Graph.create n in
+  (* Rejection sampling is fine: density is well below 1 in all workloads. *)
+  let guard = ref 0 in
+  while Graph.size g < target && !guard < 1000 * (target + 1) do
+    incr guard;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then Graph.add_edge g u v
+  done;
+  g
+
+let power_law ~seed n ~density =
+  let rng = Random.State.make [| seed; 0xba5e |] in
+  let target = edge_budget n ~density in
+  let g = Graph.create n in
+  if n >= 2 then begin
+    Graph.add_edge g 0 1;
+    (* Sample a vertex of [0 .. bound-1] proportional to degree + 1. *)
+    let preferential bound =
+      let total = ref 0 in
+      for u = 0 to bound - 1 do
+        total := !total + Graph.degree g u + 1
+      done;
+      let r = Random.State.int rng (max 1 !total) in
+      let pick = ref 0 and acc = ref 0 and found = ref false in
+      for u = 0 to bound - 1 do
+        if not !found then begin
+          acc := !acc + Graph.degree g u + 1;
+          if r < !acc then begin
+            pick := u;
+            found := true
+          end
+        end
+      done;
+      !pick
+    in
+    (* Phase 1: every vertex joins with a single preferential edge, so the
+       degree distribution keeps a fat population of leaves — the paper's
+       "more vertices with low degrees" (§4.2.2). *)
+    for v = 2 to n - 1 do
+      let guard = ref 0 in
+      let attached = ref false in
+      while (not !attached) && !guard < 200 do
+        incr guard;
+        let u = preferential v in
+        if u <> v && not (Graph.has_edge g u v) then begin
+          Graph.add_edge g u v;
+          attached := true
+        end
+      done
+    done;
+    (* Phase 2: the remaining edge budget densifies the hub core. Sampling
+       is proportional to degree^2 so the extra edges concentrate on the
+       hubs and the leaf population survives — plain degree-proportional
+       sampling flattens the tail at the densities the paper uses. *)
+    let preferential_sq () =
+      let total = ref 0 in
+      for u = 0 to n - 1 do
+        let d = Graph.degree g u in
+        total := !total + (d * d)
+      done;
+      let r = Random.State.int rng (max 1 !total) in
+      let pick = ref 0 and acc = ref 0 and found = ref false in
+      for u = 0 to n - 1 do
+        if not !found then begin
+          let d = Graph.degree g u in
+          acc := !acc + (d * d);
+          if r < !acc then begin
+            pick := u;
+            found := true
+          end
+        end
+      done;
+      !pick
+    in
+    let guard = ref 0 in
+    while Graph.size g < target && !guard < 2000 * (target + 1) do
+      incr guard;
+      let u = preferential_sq () and v = preferential_sq () in
+      if u <> v then Graph.add_edge g u v
+    done;
+    while Graph.size g > target do
+      let es = Graph.edges g in
+      let low (u, v) = Graph.degree g u + Graph.degree g v in
+      let e =
+        List.fold_left (fun best e -> if low e < low best then e else best)
+          (List.hd es) es
+      in
+      let u, v = e in
+      Graph.remove_edge g u v
+    done
+  end;
+  g
+
+let degree_histogram g =
+  let hist = Array.make (Graph.max_degree g + 1) 0 in
+  for v = 0 to Graph.order g - 1 do
+    let d = Graph.degree g v in
+    hist.(d) <- hist.(d) + 1
+  done;
+  hist

@@ -1,0 +1,21 @@
+(** Problem-graph generators for the QAOA evaluation (paper §2.2, §4.2.2).
+
+    The paper evaluates QAOA max-cut on two graph families, both at a given
+    edge density: Erdos–Renyi-style random graphs and power-law graphs. All
+    generators are deterministic given [seed]. *)
+
+(** [random ~seed n ~density] samples a graph on [n] vertices with exactly
+    [round (density * n * (n-1) / 2)] distinct edges, uniformly. *)
+val random : seed:int -> int -> density:float -> Graph.t
+
+(** [power_law ~seed n ~density] grows a graph by preferential attachment
+    (Barabasi–Albert style) and then adds or removes random edges to hit the
+    same edge budget as [random], yielding a heavy-tailed degree
+    distribution: a few hubs, many low-degree vertices. *)
+val power_law : seed:int -> int -> density:float -> Graph.t
+
+(** Degree histogram: [hist.(d)] is the number of vertices with degree [d]. *)
+val degree_histogram : Graph.t -> int array
+
+(** Target edge count for a density, [round (d * n * (n-1) / 2)]. *)
+val edge_budget : int -> density:float -> int

@@ -1,0 +1,172 @@
+type t = int array
+
+(* Edmonds' blossom algorithm for maximum-cardinality matching, the classic
+   O(V^3) formulation: repeated BFS for augmenting paths with blossom
+   contraction tracked through a [base] array. *)
+
+let blossom g =
+  let n = Graph.order g in
+  let mate = Array.make n (-1) in
+  let p = Array.make n (-1) in
+  let base = Array.init n Fun.id in
+  let used = Array.make n false in
+  let in_blossom = Array.make n false in
+
+  let lca a b =
+    let seen = Array.make n false in
+    let rec mark_up v =
+      let b = base.(v) in
+      seen.(b) <- true;
+      if mate.(b) >= 0 && p.(mate.(b)) >= 0 then mark_up p.(mate.(b))
+    in
+    mark_up a;
+    let rec find v =
+      let b = base.(v) in
+      if seen.(b) then b
+      else find p.(mate.(b))
+    in
+    find b
+  in
+
+  let mark_path v b child =
+    let v = ref v and child = ref child in
+    while base.(!v) <> b do
+      in_blossom.(base.(!v)) <- true;
+      in_blossom.(base.(mate.(!v))) <- true;
+      p.(!v) <- !child;
+      child := mate.(!v);
+      v := p.(mate.(!v))
+    done
+  in
+
+  let find_path root =
+    Array.fill used 0 n false;
+    Array.fill p 0 n (-1);
+    Array.iteri (fun i _ -> base.(i) <- i) base;
+    used.(root) <- true;
+    let q = Queue.create () in
+    Queue.add root q;
+    let result = ref (-1) in
+    (try
+       while not (Queue.is_empty q) do
+         let v = Queue.pop q in
+         List.iter
+           (fun to_ ->
+             if !result < 0 then
+               if base.(v) <> base.(to_) && mate.(v) <> to_ then
+                 if to_ = root || (mate.(to_) >= 0 && p.(mate.(to_)) >= 0)
+                 then begin
+                   (* Odd cycle: contract the blossom. *)
+                   let curbase = lca v to_ in
+                   Array.fill in_blossom 0 n false;
+                   mark_path v curbase to_;
+                   mark_path to_ curbase v;
+                   for i = 0 to n - 1 do
+                     if in_blossom.(base.(i)) then begin
+                       base.(i) <- curbase;
+                       if not used.(i) then begin
+                         used.(i) <- true;
+                         Queue.add i q
+                       end
+                     end
+                   done
+                 end
+                 else if p.(to_) < 0 then begin
+                   p.(to_) <- v;
+                   if mate.(to_) < 0 then begin
+                     result := to_;
+                     raise Exit
+                   end
+                   else begin
+                     used.(mate.(to_)) <- true;
+                     Queue.add mate.(to_) q
+                   end
+                 end)
+           (Graph.neighbors g v)
+       done
+     with Exit -> ());
+    !result
+  in
+
+  for v = 0 to n - 1 do
+    if mate.(v) < 0 then begin
+      let u = find_path v in
+      (* Flip matched/unmatched along the augmenting path ending at [u]. *)
+      let u = ref u in
+      while !u >= 0 do
+        let pv = p.(!u) in
+        let ppv = mate.(pv) in
+        mate.(!u) <- pv;
+        mate.(pv) <- !u;
+        u := ppv
+      done
+    end
+  done;
+  mate
+
+let greedy ~weight g =
+  let n = Graph.order g in
+  let mate = Array.make n (-1) in
+  let es =
+    List.sort
+      (fun (u1, v1) (u2, v2) ->
+        let c = compare (weight u2 v2) (weight u1 v1) in
+        if c <> 0 then c else compare (u1, v1) (u2, v2))
+      (Graph.edges g)
+  in
+  List.iter
+    (fun (u, v) ->
+      if mate.(u) < 0 && mate.(v) < 0 then begin
+        mate.(u) <- v;
+        mate.(v) <- u
+      end)
+    es;
+  mate
+
+let priority_matching ~priority g =
+  let n = Graph.order g in
+  let prio = Graph.create n in
+  let rest = Graph.create n in
+  List.iter
+    (fun (u, v) ->
+      if priority u v then Graph.add_edge prio u v
+      else Graph.add_edge rest u v)
+    (Graph.edges g);
+  let m1 = blossom prio in
+  (* Restrict the non-priority edges to vertices still free after phase 1,
+     then match those at maximum cardinality too. *)
+  let rest' = Graph.create n in
+  List.iter
+    (fun (u, v) -> if m1.(u) < 0 && m1.(v) < 0 then Graph.add_edge rest' u v)
+    (Graph.edges rest);
+  let m2 = blossom rest' in
+  Array.init n (fun v -> if m1.(v) >= 0 then m1.(v) else m2.(v))
+
+let edges mate =
+  let acc = ref [] in
+  for v = Array.length mate - 1 downto 0 do
+    let w = mate.(v) in
+    if w > v then acc := (v, w) :: !acc
+  done;
+  !acc
+
+let cardinality mate = List.length (edges mate)
+
+let is_valid g mate =
+  let n = Graph.order g in
+  Array.length mate = n
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun v w ->
+           if w >= 0 then
+             if w >= n || mate.(w) <> v || not (Graph.has_edge g v w) then
+               ok := false)
+         mate;
+       !ok
+     end
+
+let is_maximal g mate =
+  List.for_all
+    (fun (u, v) -> mate.(u) >= 0 || mate.(v) >= 0)
+    (Graph.edges g)

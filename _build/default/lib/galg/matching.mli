@@ -1,0 +1,38 @@
+(** Matchings in general graphs.
+
+    The QAOA scheduler (paper §3.2.2, Step 3) schedules one layer of
+    commuting two-qubit gates per round by computing a maximum-weight
+    matching of the remaining interaction graph, where edges touching
+    qubits involved in a pending reuse get a large priority weight. *)
+
+(** A matching as a partner array: [mate.(v)] is the vertex matched to [v],
+    or [-1] if [v] is unmatched. *)
+type t = int array
+
+(** Maximum-cardinality matching via Edmonds' blossom algorithm
+    (O(V^3)). Works on general (non-bipartite) graphs. *)
+val blossom : Graph.t -> t
+
+(** Greedy maximal matching: scan edges by decreasing weight (ties by
+    lexicographic edge order) and take every edge whose endpoints are
+    free. [weight u v] must be symmetric. *)
+val greedy : weight:(int -> int -> float) -> Graph.t -> t
+
+(** Two-level maximum-weight matching for the CaQR scheduler. Edges with
+    [priority u v = true] carry weight [w >> 1]; others weight 1. Phase 1
+    computes a maximum matching of the priority subgraph (blossom); phase 2
+    extends it with a maximum matching of the non-priority edges induced on
+    the still-free vertices. This keeps every priority match — exactly the
+    bias the paper wants — while remaining polynomial. *)
+val priority_matching : priority:(int -> int -> bool) -> Graph.t -> t
+
+(** Matched edges [(u, v)], [u < v]. *)
+val edges : t -> (int * int) list
+
+val cardinality : t -> int
+
+(** Check symmetry, range, and that matched pairs are actual edges. *)
+val is_valid : Graph.t -> t -> bool
+
+(** A maximal matching admits no free edge (both endpoints unmatched). *)
+val is_maximal : Graph.t -> t -> bool

@@ -1,0 +1,13 @@
+(** Disjoint-set forest with path compression and union by rank. Used to
+    track merged logical wires during repeated qubit-reuse contraction and
+    for connectivity checks in graph generators. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** Number of disjoint classes. *)
+val count : t -> int

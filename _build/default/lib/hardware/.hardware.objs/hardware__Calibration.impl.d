@@ -1,0 +1,1 @@
+lib/hardware/calibration.ml: Array Float Galg Hashtbl List Quantum Random

@@ -1,0 +1,1 @@
+lib/hardware/calibration.mli: Galg

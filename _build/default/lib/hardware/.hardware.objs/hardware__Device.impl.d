@@ -1,0 +1,1 @@
+lib/hardware/device.ml: Array Calibration Float Galg List Quantum Topology

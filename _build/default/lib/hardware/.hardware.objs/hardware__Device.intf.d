@@ -1,0 +1,1 @@
+lib/hardware/device.mli: Calibration Galg

@@ -1,0 +1,1 @@
+lib/hardware/topology.ml: Galg List

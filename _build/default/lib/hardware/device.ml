@@ -1,0 +1,46 @@
+type t = {
+  coupling : Galg.Graph.t;
+  calibration : Calibration.t;
+  dist : int array array;
+}
+
+let make coupling calibration =
+  { coupling; calibration; dist = Galg.Graph.all_pairs_dist coupling }
+
+let mumbai =
+  make Topology.falcon_27 (Calibration.synthetic ~seed:27 Topology.falcon_27)
+
+let heavy_hex_for n =
+  if n <= 27 then mumbai
+  else
+    let g = Topology.heavy_hex_at_least n in
+    make g (Calibration.synthetic ~seed:(1000 + n) g)
+
+let ideal g = make g (Calibration.ideal g)
+
+let with_noise_scale factor t =
+  { t with calibration = Calibration.scale ~factor t.calibration }
+
+let num_qubits t = Galg.Graph.order t.coupling
+let adjacent t u v = Galg.Graph.has_edge t.coupling u v
+let distance t u v = t.dist.(u).(v)
+let neighbors t v = Galg.Graph.neighbors t.coupling v
+
+let cx_duration t u v =
+  if adjacent t u v then (Calibration.link t.calibration u v).Calibration.cx_duration_dt
+  else Quantum.Duration.(default.cx)
+
+let cx_error t u v =
+  if adjacent t u v then (Calibration.link t.calibration u v).Calibration.cx_error
+  else 1.
+
+let readout_error t q = (Calibration.qubit t.calibration q).Calibration.readout_error
+
+let qubit_quality t p =
+  let best_link =
+    List.fold_left
+      (fun acc n -> Float.max acc (1. -. cx_error t p n))
+      0. (neighbors t p)
+  in
+  let connectivity = float_of_int (Galg.Graph.degree t.coupling p) in
+  (0.5 *. connectivity) +. (1. -. readout_error t p) +. best_link

@@ -1,0 +1,43 @@
+(** A device bundles a coupling map with calibration and distance data —
+    everything SR-CaQR and the baseline transpiler query: adjacency,
+    distances, per-link CNOT cost, per-qubit readout quality (paper
+    §3.3.1 Step 2). *)
+
+type t = private {
+  coupling : Galg.Graph.t;
+  calibration : Calibration.t;
+  dist : int array array;
+}
+
+val make : Galg.Graph.t -> Calibration.t -> t
+
+(** Synthetic IBM Mumbai: 27-qubit Falcon heavy-hex with seeded calibration. *)
+val mumbai : t
+
+(** Heavy-hex device with at least [n] qubits and synthetic calibration;
+    [mumbai] when [n <= 27]. *)
+val heavy_hex_for : int -> t
+
+(** Ideal (noise-free) device over a coupling graph. *)
+val ideal : Galg.Graph.t -> t
+
+(** [with_noise_scale factor t] rescales every error rate (see
+    {!Calibration.scale}); topology and durations are unchanged. *)
+val with_noise_scale : float -> t -> t
+
+val num_qubits : t -> int
+val adjacent : t -> int -> int -> bool
+val distance : t -> int -> int -> int
+val neighbors : t -> int -> int list
+
+(** CNOT duration in dt on a link (falls back to the default model when the
+    qubits are not adjacent — callers route first). *)
+val cx_duration : t -> int -> int -> int
+
+val cx_error : t -> int -> int -> float
+val readout_error : t -> int -> float
+
+(** A quality score for mapping a fresh logical qubit onto physical [p]:
+    higher is better — combines connectivity, readout fidelity, and the
+    best incident CNOT fidelity. *)
+val qubit_quality : t -> int -> float

@@ -1,0 +1,78 @@
+let falcon_27 =
+  Galg.Graph.of_edges 27
+    [
+      (0, 1); (1, 2); (1, 4); (2, 3); (3, 5); (4, 7); (5, 8); (6, 7); (7, 10);
+      (8, 9); (8, 11); (10, 12); (11, 14); (12, 13); (12, 15); (13, 14);
+      (14, 16); (15, 18); (16, 19); (17, 18); (18, 21); (19, 20); (19, 22);
+      (21, 23); (22, 25); (23, 24); (24, 25); (25, 26);
+    ]
+
+(* Heavy-hex: horizontal rows of qubits, with rung qubits connecting
+   consecutive rows every 4 columns, offset by 2 on odd rows. *)
+let heavy_hex ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topology.heavy_hex";
+  let row_len = (4 * cols) + 1 in
+  let n_row_qubits = rows * row_len in
+  let rungs_per_gap = cols + 1 in
+  let n = n_row_qubits + ((rows - 1) * rungs_per_gap) in
+  let g = Galg.Graph.create n in
+  let row_qubit r c = (r * row_len) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to row_len - 2 do
+      Galg.Graph.add_edge g (row_qubit r c) (row_qubit r (c + 1))
+    done
+  done;
+  for gap = 0 to rows - 2 do
+    for k = 0 to rungs_per_gap - 1 do
+      let rung = n_row_qubits + (gap * rungs_per_gap) + k in
+      (* Even gaps anchor rungs at columns 0, 4, 8, ...; odd gaps at
+         2, 6, 10, ... (clamped), producing the offset brick pattern. *)
+      let col =
+        if gap mod 2 = 0 then min (4 * k) (row_len - 1)
+        else min ((4 * k) + 2) (row_len - 1)
+      in
+      Galg.Graph.add_edge g rung (row_qubit gap col);
+      Galg.Graph.add_edge g rung (row_qubit (gap + 1) col)
+    done
+  done;
+  g
+
+let heavy_hex_at_least n =
+  let rec grow k =
+    let g = heavy_hex ~rows:k ~cols:k in
+    if Galg.Graph.order g >= n then g else grow (k + 1)
+  in
+  if n <= 27 then falcon_27 else grow 2
+
+let line n =
+  Galg.Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  let g = line n in
+  if n > 2 then Galg.Graph.add_edge g (n - 1) 0;
+  g
+
+let grid ~rows ~cols =
+  let g = Galg.Graph.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then Galg.Graph.add_edge g v (v + 1);
+      if r + 1 < rows then Galg.Graph.add_edge g v (v + cols)
+    done
+  done;
+  g
+
+let star n =
+  Galg.Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let t_shape_5 = Galg.Graph.of_edges 5 [ (0, 1); (1, 2); (1, 3); (3, 4) ]
+
+let fully_connected n =
+  let g = Galg.Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Galg.Graph.add_edge g u v
+    done
+  done;
+  g

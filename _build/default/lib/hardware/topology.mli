@@ -1,0 +1,28 @@
+(** Hardware coupling-map topologies.
+
+    The paper evaluates on IBM heavy-hex devices (Falcon 27-qubit "Mumbai")
+    and "scaled heavy-hex" when circuits need more qubits (§4.1). *)
+
+(** The exact 27-qubit Falcon heavy-hex coupling map (ibmq_mumbai). *)
+val falcon_27 : Galg.Graph.t
+
+(** [heavy_hex ~rows ~cols] is a scaled heavy-hex lattice: [rows] horizontal
+    qubit chains of length [4 * cols + 1] joined by vertical rung qubits at
+    alternating offsets, the pattern of IBM's 65/127-qubit devices. *)
+val heavy_hex : rows:int -> cols:int -> Galg.Graph.t
+
+(** Smallest heavy-hex lattice with at least [n] qubits. *)
+val heavy_hex_at_least : int -> Galg.Graph.t
+
+val line : int -> Galg.Graph.t
+val ring : int -> Galg.Graph.t
+val grid : rows:int -> cols:int -> Galg.Graph.t
+
+(** Star with center 0 — Fig. 4's interaction-graph example. *)
+val star : int -> Galg.Graph.t
+
+(** The 5-qubit T/bowtie layout of the paper's Fig. 4 (a):
+    edges 0-1, 1-2, 1-3, 3-4. *)
+val t_shape_5 : Galg.Graph.t
+
+val fully_connected : int -> Galg.Graph.t

@@ -1,0 +1,1 @@
+lib/qaoa/ansatz.ml: Array Galg List Maxcut Quantum

@@ -1,0 +1,1 @@
+lib/qaoa/ansatz.mli: Maxcut Quantum

@@ -1,0 +1,1 @@
+lib/qaoa/driver.ml: Ansatz Array List Optimizer

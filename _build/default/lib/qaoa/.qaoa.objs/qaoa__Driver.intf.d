@@ -1,0 +1,1 @@
+lib/qaoa/driver.mli: Maxcut Quantum

@@ -1,0 +1,1 @@
+lib/qaoa/maxcut.ml: Galg List Printf Sim

@@ -1,0 +1,1 @@
+lib/qaoa/maxcut.mli: Galg Sim

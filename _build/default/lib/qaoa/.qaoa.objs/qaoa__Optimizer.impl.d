@@ -1,0 +1,1 @@
+lib/qaoa/optimizer.ml: Array Float Fun List

@@ -1,0 +1,40 @@
+type round = { index : int; params : float array; energy : float }
+
+type run = {
+  rounds : round list;
+  best_energy : float;
+  best_params : float array;
+}
+
+type method_ = Cobyla | Nelder_mead
+
+let optimize ?(method_ = Cobyla) ?(layers = 1) ?(max_rounds = 40) ~evaluate
+    problem =
+  let objective params =
+    let gammas = Array.sub params 0 layers in
+    let betas = Array.sub params layers layers in
+    evaluate (Ansatz.circuit problem ~gammas ~betas)
+  in
+  (* Start near the good basin for the Rzz(theta) = exp(-i theta/2 ZZ)
+     convention (empirically gamma < 0, beta near pi/4..3pi/8). *)
+  let init =
+    Array.init (2 * layers) (fun i -> if i < layers then -0.7 else 0.9)
+  in
+  let trace =
+    match method_ with
+    | Cobyla ->
+      Optimizer.cobyla_lite ~max_evals:max_rounds ~init ~rho_start:0.4
+        ~rho_end:1e-3 objective
+    | Nelder_mead ->
+      Optimizer.nelder_mead ~max_evals:max_rounds ~init ~step:0.4 objective
+  in
+  let rounds =
+    List.mapi
+      (fun i best -> { index = i + 1; params = [||]; energy = best })
+      trace.Optimizer.history
+  in
+  {
+    rounds;
+    best_energy = trace.Optimizer.best_value;
+    best_params = trace.Optimizer.best_params;
+  }

@@ -1,0 +1,25 @@
+(** The full hybrid QAOA loop of Figs. 15–16: a classical optimizer tunes
+    (gamma, beta) while each round's ansatz is compiled by a caller-supplied
+    function and executed (possibly noisily). *)
+
+type round = { index : int; params : float array; energy : float }
+
+type run = {
+  rounds : round list;  (** best-so-far negated expected cut per round *)
+  best_energy : float;
+  best_params : float array;
+}
+
+type method_ = Cobyla | Nelder_mead
+
+(** [optimize ?method_ ?layers ?max_rounds ~evaluate problem] minimizes the
+    negated expected cut. [evaluate circuit] must return the estimated
+    energy of the (already measured) ansatz circuit — callers plug in ideal
+    simulation, noisy simulation, or a compile-then-simulate pipeline. *)
+val optimize :
+  ?method_:method_ ->
+  ?layers:int ->
+  ?max_rounds:int ->
+  evaluate:(Quantum.Circuit.t -> float) ->
+  Maxcut.t ->
+  run

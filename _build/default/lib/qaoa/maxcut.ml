@@ -1,0 +1,33 @@
+type t = { graph : Galg.Graph.t; name : string }
+
+let random ~seed n ~density =
+  {
+    graph = Galg.Gen.random ~seed n ~density;
+    name = Printf.sprintf "rand-%d-%.2f" n density;
+  }
+
+let power_law ~seed n ~density =
+  {
+    graph = Galg.Gen.power_law ~seed n ~density;
+    name = Printf.sprintf "plaw-%d-%.2f" n density;
+  }
+
+let cut_value t mask =
+  List.fold_left
+    (fun acc (u, v) ->
+      if (mask land (1 lsl u) <> 0) <> (mask land (1 lsl v) <> 0) then acc +. 1.
+      else acc)
+    0. (Galg.Graph.edges t.graph)
+
+let brute_force_optimum t =
+  let n = Galg.Graph.order t.graph in
+  if n > 24 then invalid_arg "Maxcut.brute_force_optimum: too large";
+  let best = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let c = cut_value t mask in
+    if c > !best then best := c
+  done;
+  !best
+
+let neg_expected_cut t counts =
+  -.Sim.Counts.expectation counts (cut_value t)

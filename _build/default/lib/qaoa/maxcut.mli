@@ -1,0 +1,21 @@
+(** Max-cut problem instances for QAOA (paper §4.1: random and power-law
+    graphs at a given density). *)
+
+type t = { graph : Galg.Graph.t; name : string }
+
+(** [random ~seed n ~density] / [power_law ~seed n ~density] wrap the
+    {!Galg.Gen} generators with descriptive names like "rand-16-0.30". *)
+val random : seed:int -> int -> density:float -> t
+
+val power_law : seed:int -> int -> density:float -> t
+
+(** Cut value of an assignment given as a bitmask over vertices. *)
+val cut_value : t -> int -> float
+
+(** Exact maximum cut by exhaustive search — only for [n <= 24]. *)
+val brute_force_optimum : t -> float
+
+(** The QAOA objective is to minimize [-E[cut]]; this is the expectation
+    of the negated cut over a counts histogram (register bit [i] =
+    vertex [i]). *)
+val neg_expected_cut : t -> Sim.Counts.t -> float

@@ -1,0 +1,31 @@
+(** Derivative-free optimizers for the QAOA classical loop.
+
+    The paper uses Qiskit's COBYLA; we provide [cobyla_lite], a
+    linear-approximation trust-region method in the same family, and
+    Nelder–Mead simplex as an alternative (DESIGN.md substitutions). Both
+    report the best objective value seen after each evaluation round, which
+    is what Figs. 15–16 plot. *)
+
+type trace = {
+  best_params : float array;
+  best_value : float;
+  history : float list;
+      (** best-so-far objective after each function evaluation, oldest first *)
+}
+
+(** [nelder_mead ~max_evals ~init ~step f] minimizes [f]. *)
+val nelder_mead :
+  max_evals:int -> init:float array -> step:float -> (float array -> float) -> trace
+
+(** [cobyla_lite ~max_evals ~init ~rho_start ~rho_end f]: keeps an [n+1]
+    point simplex, fits a linear model through it, and steps to the model
+    minimizer within the trust radius [rho], shrinking [rho] on failure —
+    COBYLA's control structure without the (here unused) constraint
+    machinery. *)
+val cobyla_lite :
+  max_evals:int ->
+  init:float array ->
+  rho_start:float ->
+  rho_end:float ->
+  (float array -> float) ->
+  trace

@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Duration Format Galg Gate List

@@ -1,0 +1,1 @@
+lib/quantum/circuit.mli: Duration Format Galg Gate

@@ -1,0 +1,1 @@
+lib/quantum/draw.ml: Array Buffer Circuit Format Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/quantum/draw.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/quantum/gate.ml: Format List

@@ -1,0 +1,1 @@
+lib/quantum/qasm.ml: Array Circuit Format Gate List Printf String

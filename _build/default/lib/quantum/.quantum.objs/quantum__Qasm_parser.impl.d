@@ -1,0 +1,1 @@
+lib/quantum/qasm_parser.ml: Buffer Circuit Float Gate List Printf String

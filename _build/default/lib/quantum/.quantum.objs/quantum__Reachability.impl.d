@@ -1,0 +1,1 @@
+lib/quantum/reachability.ml: Array Bytes Char Dag List

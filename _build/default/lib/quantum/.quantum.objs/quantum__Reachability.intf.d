@@ -1,0 +1,1 @@
+lib/quantum/reachability.mli: Dag

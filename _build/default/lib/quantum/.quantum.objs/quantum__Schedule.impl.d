@@ -1,0 +1,1 @@
+lib/quantum/schedule.ml: Array Buffer Bytes Circuit Duration Gate List Printf

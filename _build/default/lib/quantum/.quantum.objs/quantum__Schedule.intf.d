@@ -1,0 +1,1 @@
+lib/quantum/schedule.mli: Circuit Duration Gate

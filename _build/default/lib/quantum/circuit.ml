@@ -1,0 +1,177 @@
+type t = { num_qubits : int; num_clbits : int; gates : Gate.t array }
+
+let check_kind ~num_qubits ~num_clbits kind =
+  let ok_q q = q >= 0 && q < num_qubits in
+  let ok_c c = c >= 0 && c < num_clbits in
+  if not (List.for_all ok_q (Gate.qubits kind)) then
+    invalid_arg
+      (Format.asprintf "Circuit: qubit out of range in %a" Gate.pp
+         { Gate.id = -1; kind });
+  if not (List.for_all ok_c (Gate.clbits kind)) then
+    invalid_arg "Circuit: classical bit out of range"
+
+let empty ~num_qubits ~num_clbits =
+  if num_qubits < 0 || num_clbits < 0 then invalid_arg "Circuit.empty";
+  { num_qubits; num_clbits; gates = [||] }
+
+let of_kinds ~num_qubits ~num_clbits kinds =
+  List.iter (check_kind ~num_qubits ~num_clbits) kinds;
+  let gates =
+    Array.of_list (List.mapi (fun id kind -> { Gate.id; kind }) kinds)
+  in
+  { num_qubits; num_clbits; gates }
+
+let gate_count c = Array.length c.gates
+
+let count p c =
+  Array.fold_left (fun n g -> if p g.Gate.kind then n + 1 else n) 0 c.gates
+
+let two_q_count c = count Gate.is_two_q c
+
+let swap_count c =
+  count (function Gate.Swap _ -> true | _ -> false) c
+
+let mid_circuit_measurements c =
+  let n = ref 0 in
+  let last_op = Array.make c.num_qubits (-1) in
+  Array.iter
+    (fun g ->
+      if not (Gate.is_barrier g.Gate.kind) then
+        List.iter (fun q -> last_op.(q) <- g.Gate.id) (Gate.qubits g.Gate.kind))
+    c.gates;
+  Array.iter
+    (fun g ->
+      match g.Gate.kind with
+      | Gate.Measure (q, _) when last_op.(q) <> g.Gate.id -> incr n
+      | _ -> ())
+    c.gates;
+  !n
+
+let active_qubits c =
+  let used = Array.make c.num_qubits false in
+  Array.iter
+    (fun g ->
+      if not (Gate.is_barrier g.Gate.kind) then
+        List.iter (fun q -> used.(q) <- true) (Gate.qubits g.Gate.kind))
+    c.gates;
+  let acc = ref [] in
+  for q = c.num_qubits - 1 downto 0 do
+    if used.(q) then acc := q :: !acc
+  done;
+  !acc
+
+(* Per-wire front times; a gate starts at the max front over its wires. *)
+let schedule weight c =
+  let qfront = Array.make (max 1 c.num_qubits) 0 in
+  let cfront = Array.make (max 1 c.num_clbits) 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun g ->
+      let k = g.Gate.kind in
+      if not (Gate.is_barrier k) then begin
+        let qs = Gate.qubits k and cs = Gate.clbits k in
+        let start =
+          List.fold_left
+            (fun acc c -> max acc cfront.(c))
+            (List.fold_left (fun acc q -> max acc qfront.(q)) 0 qs)
+            cs
+        in
+        let finish = start + weight k in
+        List.iter (fun q -> qfront.(q) <- finish) qs;
+        List.iter (fun c -> cfront.(c) <- finish) cs;
+        if finish > !total then total := finish
+      end)
+    c.gates;
+  !total
+
+let depth c = schedule (fun _ -> 1) c
+let duration model c = schedule (Duration.of_kind model) c
+
+let interaction_graph c =
+  let g = Galg.Graph.create c.num_qubits in
+  Array.iter
+    (fun gate ->
+      if Gate.is_two_q gate.Gate.kind then
+        match Gate.qubits gate.Gate.kind with
+        | [ a; b ] -> Galg.Graph.add_edge g a b
+        | _ -> ())
+    c.gates;
+  g
+
+let of_gate_kinds ~num_qubits ~num_clbits kinds =
+  of_kinds ~num_qubits ~num_clbits kinds
+
+let map_qubits ~num_qubits f c =
+  of_gate_kinds ~num_qubits ~num_clbits:c.num_clbits
+    (Array.to_list (Array.map (fun g -> Gate.map_qubits f g.Gate.kind) c.gates))
+
+let append a b =
+  if a.num_qubits <> b.num_qubits || a.num_clbits <> b.num_clbits then
+    invalid_arg "Circuit.append: width mismatch";
+  of_gate_kinds ~num_qubits:a.num_qubits ~num_clbits:a.num_clbits
+    (Array.to_list (Array.map (fun g -> g.Gate.kind) a.gates)
+    @ Array.to_list (Array.map (fun g -> g.Gate.kind) b.gates))
+
+let compact_qubits c =
+  let used = Array.make c.num_qubits false in
+  Array.iter
+    (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g.Gate.kind))
+    c.gates;
+  let remap = Array.make c.num_qubits (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun q u ->
+      if u then begin
+        remap.(q) <- !next;
+        incr next
+      end)
+    used;
+  let c' = map_qubits ~num_qubits:!next (fun q -> remap.(q)) c in
+  (c', remap)
+
+let measure_all c =
+  let nc = max c.num_clbits c.num_qubits in
+  let kinds =
+    Array.to_list (Array.map (fun g -> g.Gate.kind) c.gates)
+    @ List.map (fun q -> Gate.Measure (q, q)) (active_qubits c)
+  in
+  of_gate_kinds ~num_qubits:c.num_qubits ~num_clbits:nc kinds
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit %d qubits, %d clbits, %d gates:" c.num_qubits
+    c.num_clbits (Array.length c.gates);
+  Array.iter (fun g -> Format.fprintf ppf "@,  %a" Gate.pp g) c.gates;
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type circuit = t
+  type nonrec t = {
+    num_qubits : int;
+    num_clbits : int;
+    mutable rev_kinds : Gate.kind list;
+  }
+
+  let create ~num_qubits ~num_clbits = { num_qubits; num_clbits; rev_kinds = [] }
+
+  let add b kind =
+    check_kind ~num_qubits:b.num_qubits ~num_clbits:b.num_clbits kind;
+    b.rev_kinds <- kind :: b.rev_kinds
+
+  let h b q = add b (Gate.One_q (Gate.H, q))
+  let x b q = add b (Gate.One_q (Gate.X, q))
+  let z b q = add b (Gate.One_q (Gate.Z, q))
+  let rx b th q = add b (Gate.One_q (Gate.Rx th, q))
+  let rz b th q = add b (Gate.One_q (Gate.Rz th, q))
+  let cx b a q = add b (Gate.Cx (a, q))
+  let cz b a q = add b (Gate.Cz (a, q))
+  let rzz b th a q = add b (Gate.Rzz (th, a, q))
+  let swap b a q = add b (Gate.Swap (a, q))
+  let measure b q c = add b (Gate.Measure (q, c))
+  let reset b q = add b (Gate.Reset q)
+  let if_x b c q = add b (Gate.If_x (c, q))
+  let barrier b qs = add b (Gate.Barrier qs)
+
+  let build b : circuit =
+    of_gate_kinds ~num_qubits:b.num_qubits ~num_clbits:b.num_clbits
+      (List.rev b.rev_kinds)
+end

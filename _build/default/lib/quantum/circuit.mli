@@ -1,0 +1,83 @@
+(** Quantum circuits: an ordered gate list over [num_qubits] wires and
+    [num_clbits] classical bits.
+
+    Circuits are immutable values; [Builder] offers an imperative
+    construction surface. Gate ids are the position at construction time and
+    are re-assigned by transformations, so they are always dense. *)
+
+type t = private {
+  num_qubits : int;
+  num_clbits : int;
+  gates : Gate.t array;
+}
+
+val empty : num_qubits:int -> num_clbits:int -> t
+
+(** [of_kinds ~num_qubits ~num_clbits kinds] numbers the gates 0.. in
+    order. Raises [Invalid_argument] if an operand is out of range. *)
+val of_kinds : num_qubits:int -> num_clbits:int -> Gate.kind list -> t
+
+val gate_count : t -> int
+
+(** Number of two-qubit unitaries (Swap counts as one gate here). *)
+val two_q_count : t -> int
+
+(** SWAP gates present. *)
+val swap_count : t -> int
+
+(** Number of mid-circuit measurements, i.e. measurements followed by more
+    operations on the same qubit. *)
+val mid_circuit_measurements : t -> int
+
+(** Qubits that carry at least one gate. *)
+val active_qubits : t -> int list
+
+(** Circuit depth counting every non-barrier gate as one time step on each
+    of its wires (classical bits are wires too, so an [If_x] serializes
+    after its [Measure]). *)
+val depth : t -> int
+
+(** ASAP-scheduled total duration in dt under a duration model. *)
+val duration : Duration.t -> t -> int
+
+(** Gate-dependence-respecting qubit interaction graph: vertex per qubit,
+    edge when some two-qubit gate couples them (paper Fig. 5). *)
+val interaction_graph : t -> Galg.Graph.t
+
+(** [map_qubits ~num_qubits f c] renames qubit wires. *)
+val map_qubits : num_qubits:int -> (int -> int) -> t -> t
+
+(** Append circuits (same widths required). *)
+val append : t -> t -> t
+
+(** Remove wires that carry no gate, compacting indices downward. Returns
+    the compacted circuit and the old-to-new qubit index map ([-1] for
+    dropped wires). *)
+val compact_qubits : t -> t * int array
+
+(** Append measurement of every active qubit [q] into classical bit [q]. *)
+val measure_all : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : num_qubits:int -> num_clbits:int -> t
+  val add : t -> Gate.kind -> unit
+  val h : t -> int -> unit
+  val x : t -> int -> unit
+  val z : t -> int -> unit
+  val rx : t -> float -> int -> unit
+  val rz : t -> float -> int -> unit
+  val cx : t -> int -> int -> unit
+  val cz : t -> int -> int -> unit
+  val rzz : t -> float -> int -> int -> unit
+  val swap : t -> int -> int -> unit
+  val measure : t -> int -> int -> unit
+  val reset : t -> int -> unit
+  val if_x : t -> int -> int -> unit
+  val barrier : t -> int list -> unit
+  val build : t -> circuit
+end

@@ -1,0 +1,89 @@
+type t = {
+  circuit : Circuit.t;
+  preds : int list array;
+  succs : int list array;
+  on_qubit : int list array;  (* reversed during build, stored in order *)
+}
+
+let build (c : Circuit.t) =
+  let n = Array.length c.gates in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  let on_qubit = Array.make (max 1 c.num_qubits) [] in
+  let last_q = Array.make (max 1 c.num_qubits) (-1) in
+  let last_c = Array.make (max 1 c.num_clbits) (-1) in
+  let add_dep src dst =
+    if src >= 0 && not (List.mem src preds.(dst)) then begin
+      preds.(dst) <- src :: preds.(dst);
+      succs.(src) <- dst :: succs.(src)
+    end
+  in
+  Array.iter
+    (fun g ->
+      let i = g.Gate.id in
+      let k = g.Gate.kind in
+      if Gate.is_barrier k then
+        (* Barriers order every wire they span but are not nodes we weight:
+           model them as ordinary nodes with zero cost downstream. *)
+        List.iter
+          (fun q ->
+            add_dep last_q.(q) i;
+            last_q.(q) <- i)
+          (Gate.qubits k)
+      else begin
+        List.iter
+          (fun q ->
+            add_dep last_q.(q) i;
+            last_q.(q) <- i;
+            on_qubit.(q) <- i :: on_qubit.(q))
+          (Gate.qubits k);
+        List.iter
+          (fun cb ->
+            add_dep last_c.(cb) i;
+            last_c.(cb) <- i)
+          (Gate.clbits k)
+      end)
+    c.gates;
+  let on_qubit = Array.map List.rev on_qubit in
+  { circuit = c; preds; succs; on_qubit }
+
+let circuit t = t.circuit
+let num_nodes t = Array.length t.preds
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+let in_degree t i = List.length t.preds.(i)
+let topo_order t = List.init (num_nodes t) Fun.id
+
+let frontier t =
+  List.filter (fun i -> t.preds.(i) = []) (topo_order t)
+
+let longest_path ~weight t =
+  let n = num_nodes t in
+  let finish = Array.make n 0 in
+  let best = ref 0 in
+  for i = 0 to n - 1 do
+    let start = List.fold_left (fun acc p -> max acc finish.(p)) 0 t.preds.(i) in
+    finish.(i) <- start + weight i;
+    if finish.(i) > !best then best := finish.(i)
+  done;
+  !best
+
+let critical_nodes ~weight t =
+  let n = num_nodes t in
+  let finish = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let start = List.fold_left (fun acc p -> max acc finish.(p)) 0 t.preds.(i) in
+    finish.(i) <- start + weight i;
+    if finish.(i) > !total then total := finish.(i)
+  done;
+  (* Latest finish allowed without stretching the schedule. *)
+  let late = Array.make n max_int in
+  for i = n - 1 downto 0 do
+    if late.(i) = max_int then late.(i) <- !total;
+    let start = late.(i) - weight i in
+    List.iter (fun p -> if start < late.(p) then late.(p) <- start) t.preds.(i)
+  done;
+  Array.init n (fun i -> finish.(i) = late.(i))
+
+let gates_on_qubit t q = t.on_qubit.(q)

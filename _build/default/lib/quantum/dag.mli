@@ -1,0 +1,34 @@
+(** Gate-dependence DAG of a circuit (paper §3.2.1).
+
+    Node [i] is gate [i] of the circuit; there is an edge [i -> j] when
+    gate [j] must run after gate [i] because they share a qubit wire or a
+    classical bit. Only direct (adjacent-on-wire) dependencies are stored;
+    transitive closure is available via {!Reachability}. *)
+
+type t
+
+val build : Circuit.t -> t
+val circuit : t -> Circuit.t
+val num_nodes : t -> int
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+val in_degree : t -> int -> int
+
+(** A topological order of the gate ids (gates are stored in execution
+    order, so this is [0 .. n-1], kept explicit for clarity). *)
+val topo_order : t -> int list
+
+(** Gate ids with in-degree 0. *)
+val frontier : t -> int list
+
+(** [longest_path ~weight dag] is the critical-path length where node [i]
+    costs [weight i]. With [weight = fun _ -> 1] this equals circuit depth
+    over non-barrier gates. *)
+val longest_path : weight:(int -> int) -> t -> int
+
+(** [critical_nodes ~weight dag] marks nodes lying on some critical path —
+    SR-CaQR only forces gates on the critical path (paper §3.3.1 Step 2). *)
+val critical_nodes : weight:(int -> int) -> t -> bool array
+
+(** Gate ids (in execution order) acting on a given qubit. *)
+val gates_on_qubit : t -> int -> int list

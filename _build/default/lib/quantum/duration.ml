@@ -1,0 +1,35 @@
+type t = {
+  one_q : int;
+  cx : int;
+  swap : int;
+  measure : int;
+  reset_builtin : int;
+  if_x : int;
+}
+
+let default =
+  {
+    one_q = 160;
+    cx = 1760;
+    swap = 3 * 1760;
+    measure = 3520;
+    reset_builtin = 4000;
+    if_x = 160;
+  }
+
+let ns_per_dt = 0.22
+
+let of_kind t = function
+  | Gate.One_q _ -> t.one_q
+  | Gate.Cx _ | Gate.Cz _ | Gate.Rzz _ -> t.cx
+  | Gate.Swap _ -> t.swap
+  | Gate.Measure _ -> t.measure
+  | Gate.Reset _ -> t.reset_builtin
+  | Gate.If_x _ -> t.if_x
+  | Gate.Barrier _ -> 0
+
+(* Fig. 2 (a): the built-in reset re-measures internally, so the pair costs
+   a full measurement on top of the reset pulse. *)
+let measure_reset_builtin t = t.measure + t.reset_builtin
+
+let measure_cond_x t = t.measure + t.if_x

@@ -1,0 +1,32 @@
+(** Gate-duration model in [dt] system cycles (1 dt = 0.22 ns, paper
+    Table 1 caption).
+
+    The model reproduces the paper's Fig. 2 observation: IBM's built-in
+    reset embeds a redundant measurement pulse, so CaQR's
+    "measure + classically-controlled X" halves the reuse turnaround. *)
+
+type t = {
+  one_q : int;  (** any single-qubit gate *)
+  cx : int;  (** default CNOT when no per-link calibration applies *)
+  swap : int;  (** SWAP = 3 CNOTs *)
+  measure : int;
+  reset_builtin : int;  (** built-in reset: implicit measure + conditional pulse *)
+  if_x : int;  (** classically-controlled X *)
+}
+
+(** Falcon-family-flavoured defaults (dt):
+    one_q = 160, cx = 1760, swap = 5280, measure = 3520 (~774 ns),
+    reset_builtin = 4000, if_x = 160 — so the built-in measure+reset
+    costs 7520 dt and CaQR's measure+conditional-X 3680 dt (~2x). *)
+val default : t
+
+val ns_per_dt : float
+
+(** Duration of a gate kind under this model. Barriers take 0. *)
+val of_kind : t -> Gate.kind -> int
+
+(** Duration of the paper's two reuse idioms: built-in measure+reset
+    vs. CaQR's measure + conditional X (Fig. 2 (a) vs (b)). *)
+val measure_reset_builtin : t -> int
+
+val measure_cond_x : t -> int

@@ -1,0 +1,138 @@
+type one_q =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float
+
+type kind =
+  | One_q of one_q * int
+  | Cx of int * int
+  | Cz of int * int
+  | Rzz of float * int * int
+  | Swap of int * int
+  | Measure of int * int
+  | Reset of int
+  | If_x of int * int
+  | Barrier of int list
+
+type t = { id : int; kind : kind }
+
+let qubits = function
+  | One_q (_, q) | Reset q -> [ q ]
+  | Cx (a, b) | Cz (a, b) | Rzz (_, a, b) | Swap (a, b) -> [ a; b ]
+  | Measure (q, _) | If_x (_, q) -> [ q ]
+  | Barrier qs -> qs
+
+let clbits = function
+  | Measure (_, c) | If_x (c, _) -> [ c ]
+  | One_q _ | Cx _ | Cz _ | Rzz _ | Swap _ | Reset _ | Barrier _ -> []
+
+let is_two_q = function
+  | Cx _ | Cz _ | Rzz _ | Swap _ -> true
+  | One_q _ | Measure _ | Reset _ | If_x _ | Barrier _ -> false
+
+let is_dynamic = function
+  | Measure _ | Reset _ | If_x _ -> true
+  | One_q _ | Cx _ | Cz _ | Rzz _ | Swap _ | Barrier _ -> false
+
+let is_barrier = function
+  | Barrier _ -> true
+  | One_q _ | Cx _ | Cz _ | Rzz _ | Swap _ | Measure _ | Reset _ | If_x _ ->
+    false
+
+let map_qubits f = function
+  | One_q (g, q) -> One_q (g, f q)
+  | Cx (a, b) -> Cx (f a, f b)
+  | Cz (a, b) -> Cz (f a, f b)
+  | Rzz (th, a, b) -> Rzz (th, f a, f b)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Measure (q, c) -> Measure (f q, c)
+  | Reset q -> Reset (f q)
+  | If_x (c, q) -> If_x (c, f q)
+  | Barrier qs -> Barrier (List.map f qs)
+
+let map_clbits f = function
+  | Measure (q, c) -> Measure (q, f c)
+  | If_x (c, q) -> If_x (f c, q)
+  | (One_q _ | Cx _ | Cz _ | Rzz _ | Swap _ | Reset _ | Barrier _) as k -> k
+
+let diagonal_one_q = function
+  | Z | S | Sdg | T | Tdg | Rz _ | Phase _ -> true
+  | H | X | Y | Sx | Rx _ | Ry _ -> false
+
+(* Is the operator diagonal in the computational basis? *)
+let diagonal = function
+  | One_q (g, _) -> diagonal_one_q g
+  | Cz _ | Rzz _ -> true
+  | Cx _ | Swap _ | Measure _ | Reset _ | If_x _ | Barrier _ -> false
+
+let same_axis a b =
+  match (a, b) with
+  | (X | Rx _), (X | Rx _) -> true
+  | (Y | Ry _), (Y | Ry _) -> true
+  | (Z | S | Sdg | T | Tdg | Rz _ | Phase _), (Z | S | Sdg | T | Tdg | Rz _ | Phase _)
+    ->
+    true
+  | _ -> false
+
+let disjoint k1 k2 =
+  let q1 = qubits k1 and q2 = qubits k2 in
+  let c1 = clbits k1 and c2 = clbits k2 in
+  (not (List.exists (fun q -> List.mem q q2) q1))
+  && not (List.exists (fun c -> List.mem c c2) c1)
+
+let commutes k1 k2 =
+  if is_barrier k1 || is_barrier k2 then false
+  else if disjoint k1 k2 then true
+  else if diagonal k1 && diagonal k2 then true
+  else
+    match (k1, k2) with
+    | One_q (a, q), One_q (b, q') -> q = q' && same_axis a b
+    | Cx (c1, t1), Cx (c2, t2) ->
+      (* Shared control or shared target commutes; control-meets-target
+         does not. *)
+      (c1 = c2 && t1 <> c2 && t2 <> c1) || (t1 = t2 && c1 <> t2 && c2 <> t1)
+    | _ -> false
+
+let pp_one_q ppf = function
+  | H -> Format.pp_print_string ppf "h"
+  | X -> Format.pp_print_string ppf "x"
+  | Y -> Format.pp_print_string ppf "y"
+  | Z -> Format.pp_print_string ppf "z"
+  | S -> Format.pp_print_string ppf "s"
+  | Sdg -> Format.pp_print_string ppf "sdg"
+  | T -> Format.pp_print_string ppf "t"
+  | Tdg -> Format.pp_print_string ppf "tdg"
+  | Sx -> Format.pp_print_string ppf "sx"
+  | Rx th -> Format.fprintf ppf "rx(%.4f)" th
+  | Ry th -> Format.fprintf ppf "ry(%.4f)" th
+  | Rz th -> Format.fprintf ppf "rz(%.4f)" th
+  | Phase th -> Format.fprintf ppf "p(%.4f)" th
+
+let pp ppf { id = _; kind } =
+  match kind with
+  | One_q (g, q) -> Format.fprintf ppf "%a q[%d]" pp_one_q g q
+  | Cx (a, b) -> Format.fprintf ppf "cx q[%d], q[%d]" a b
+  | Cz (a, b) -> Format.fprintf ppf "cz q[%d], q[%d]" a b
+  | Rzz (th, a, b) -> Format.fprintf ppf "rzz(%.4f) q[%d], q[%d]" th a b
+  | Swap (a, b) -> Format.fprintf ppf "swap q[%d], q[%d]" a b
+  | Measure (q, c) -> Format.fprintf ppf "measure q[%d] -> c[%d]" q c
+  | Reset q -> Format.fprintf ppf "reset q[%d]" q
+  | If_x (c, q) -> Format.fprintf ppf "if (c[%d]) x q[%d]" c q
+  | Barrier qs ->
+    Format.fprintf ppf "barrier %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf q -> Format.fprintf ppf "q[%d]" q))
+      qs
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,20 @@
+let pp ppf (c : Circuit.t) =
+  Format.fprintf ppf "OPENQASM 3.0;@.include \"stdgates.inc\";@.";
+  Format.fprintf ppf "qubit[%d] q;@.bit[%d] c;@." c.num_qubits c.num_clbits;
+  Array.iter
+    (fun g ->
+      match g.Gate.kind with
+      | Gate.Measure (q, cb) -> Format.fprintf ppf "c[%d] = measure q[%d];@." cb q
+      | Gate.If_x (cb, q) -> Format.fprintf ppf "if (c[%d]) x q[%d];@." cb q
+      | Gate.Reset q -> Format.fprintf ppf "reset q[%d];@." q
+      | Gate.Rzz (th, a, b) ->
+        (* Not in stdgates, but round-trips through Qasm_parser; external
+           consumers can macro-expand to cx-rz-cx. *)
+        Format.fprintf ppf "rzz(%.6f) q[%d], q[%d];@." th a b
+      | Gate.Barrier qs ->
+        Format.fprintf ppf "barrier %s;@."
+          (String.concat ", " (List.map (Printf.sprintf "q[%d]") qs))
+      | _ -> Format.fprintf ppf "%a;@." Gate.pp g)
+    c.gates
+
+let to_string c = Format.asprintf "%a" pp c

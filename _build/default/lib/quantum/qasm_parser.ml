@@ -1,0 +1,213 @@
+let fail line msg = failwith (Printf.sprintf "Qasm_parser: line %d: %s" line msg)
+
+(* Strip comments, split on ';', keep line numbers for messages. *)
+let statements text =
+  let no_comments =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '/' with
+           | Some i when i + 1 < String.length l && l.[i + 1] = '/' ->
+             String.sub l 0 i
+           | _ -> l)
+  in
+  let acc = ref [] in
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun lineno line ->
+      String.iter
+        (fun ch ->
+          if ch = ';' then begin
+            acc := (lineno + 1, String.trim (Buffer.contents buf)) :: !acc;
+            Buffer.clear buf
+          end
+          else Buffer.add_char buf ch)
+        line;
+      Buffer.add_char buf ' ')
+    no_comments;
+  (match String.trim (Buffer.contents buf) with
+   | "" -> ()
+   | rest -> acc := (List.length no_comments, rest) :: !acc);
+  List.rev (List.filter (fun (_, s) -> s <> "") !acc)
+
+(* "pi", "pi/2", "2*pi", "-pi", "1.5708", "-0.5" ... *)
+let parse_angle line s =
+  let s = String.trim s in
+  let parse_atom a =
+    let a = String.trim a in
+    if a = "pi" then Float.pi
+    else
+      match float_of_string_opt a with
+      | Some f -> f
+      | None -> fail line (Printf.sprintf "bad angle %S" a)
+  in
+  let signed, body =
+    if String.length s > 0 && s.[0] = '-' then
+      (-1., String.sub s 1 (String.length s - 1))
+    else (1., s)
+  in
+  let v =
+    match String.index_opt body '*' with
+    | Some i ->
+      parse_atom (String.sub body 0 i)
+      *. parse_atom (String.sub body (i + 1) (String.length body - i - 1))
+    | None -> (
+      match String.index_opt body '/' with
+      | Some i ->
+        parse_atom (String.sub body 0 i)
+        /. parse_atom (String.sub body (i + 1) (String.length body - i - 1))
+      | None -> parse_atom body)
+  in
+  signed *. v
+
+(* "q[3]" -> 3 (register name is checked by the caller). *)
+let parse_index line ~reg s =
+  let s = String.trim s in
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some i, Some j when j > i ->
+    let name = String.sub s 0 i in
+    if name <> reg then
+      fail line (Printf.sprintf "expected register %S, got %S" reg name);
+    (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+     | Some k -> k
+     | None -> fail line "bad index")
+  | _ -> fail line (Printf.sprintf "expected %s[<n>], got %S" reg s)
+
+let split_args s = String.split_on_char ',' s |> List.map String.trim
+
+(* "rx(pi/2)" -> ("rx", Some "pi/2"); "h" -> ("h", None) *)
+let split_head tok =
+  match String.index_opt tok '(' with
+  | Some i ->
+    let close =
+      match String.rindex_opt tok ')' with
+      | Some j when j > i -> j
+      | _ -> String.length tok
+    in
+    ( String.sub tok 0 i,
+      Some (String.sub tok (i + 1) (close - i - 1)) )
+  | None -> (tok, None)
+
+let of_string text =
+  let num_qubits = ref 0 and num_clbits = ref 0 in
+  let rev_kinds = ref [] in
+  let add k = rev_kinds := k :: !rev_kinds in
+  let one_q line name angle q =
+    let g =
+      match (name, angle) with
+      | "h", None -> Gate.H
+      | "x", None -> Gate.X
+      | "y", None -> Gate.Y
+      | "z", None -> Gate.Z
+      | "s", None -> Gate.S
+      | "sdg", None -> Gate.Sdg
+      | "t", None -> Gate.T
+      | "tdg", None -> Gate.Tdg
+      | "sx", None -> Gate.Sx
+      | "rx", Some a -> Gate.Rx (parse_angle line a)
+      | "ry", Some a -> Gate.Ry (parse_angle line a)
+      | "rz", Some a -> Gate.Rz (parse_angle line a)
+      | "p", Some a -> Gate.Phase (parse_angle line a)
+      | _ -> fail line (Printf.sprintf "unsupported gate %S" name)
+    in
+    add (Gate.One_q (g, q))
+  in
+  List.iter
+    (fun (line, stmt) ->
+      (* Normalize interior whitespace to single spaces. *)
+      let words =
+        String.split_on_char ' ' stmt |> List.filter (fun w -> w <> "")
+      in
+      let stmt = String.concat " " words in
+      match words with
+      | [] -> ()
+      | first :: _ when first = "OPENQASM" || first = "include" -> ()
+      | _ ->
+        (* Handle declarations and operations uniformly below. *)
+        let starts_with p =
+          String.length stmt >= String.length p
+          && String.sub stmt 0 (String.length p) = p
+        in
+        if starts_with "qubit[" || starts_with "qreg " then begin
+          let s = if starts_with "qreg " then String.sub stmt 5 (String.length stmt - 5) else stmt in
+          let i = String.index s '[' and j = String.index s ']' in
+          (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+           | Some n -> num_qubits := max !num_qubits n
+           | None -> fail line "bad qubit count")
+        end
+        else if starts_with "bit[" || starts_with "creg " then begin
+          let s = if starts_with "creg " then String.sub stmt 5 (String.length stmt - 5) else stmt in
+          let i = String.index s '[' and j = String.index s ']' in
+          (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+           | Some n -> num_clbits := max !num_clbits n
+           | None -> fail line "bad bit count")
+        end
+        else if starts_with "barrier" then begin
+          let args = String.sub stmt 7 (String.length stmt - 7) in
+          add (Gate.Barrier (List.map (parse_index line ~reg:"q") (split_args args)))
+        end
+        else if starts_with "reset " then
+          add (Gate.Reset (parse_index line ~reg:"q" (String.sub stmt 6 (String.length stmt - 6))))
+        else if starts_with "if" then begin
+          (* if (c[i]) x q[j] *)
+          let open_p = String.index stmt '(' and close_p = String.index stmt ')' in
+          let cond = String.sub stmt (open_p + 1) (close_p - open_p - 1) in
+          let cb = parse_index line ~reg:"c" cond in
+          let rest = String.trim (String.sub stmt (close_p + 1) (String.length stmt - close_p - 1)) in
+          (match String.split_on_char ' ' rest |> List.filter (fun w -> w <> "") with
+           | [ "x"; qarg ] -> add (Gate.If_x (cb, parse_index line ~reg:"q" qarg))
+           | _ -> fail line "only `if (c[i]) x q[j]` is supported")
+        end
+        else if starts_with "measure " then begin
+          (* OpenQASM 2: measure q[j] -> c[i] *)
+          let body = String.sub stmt 8 (String.length stmt - 8) in
+          let split_arrow s =
+            let n = String.length s in
+            let rec go i =
+              if i + 1 >= n then None
+              else if s.[i] = '-' && s.[i + 1] = '>' then
+                Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+              else go (i + 1)
+            in
+            go 0
+          in
+          match split_arrow body with
+          | Some (qarg, carg) ->
+            add
+              (Gate.Measure
+                 (parse_index line ~reg:"q" qarg, parse_index line ~reg:"c" carg))
+          | None -> fail line "measure needs `-> c[i]`"
+        end
+        else if String.contains stmt '=' && not (String.contains stmt '(') then begin
+          (* OpenQASM 3: c[i] = measure q[j] *)
+          let eq = String.index stmt '=' in
+          let lhs = String.trim (String.sub stmt 0 eq) in
+          let rhs = String.trim (String.sub stmt (eq + 1) (String.length stmt - eq - 1)) in
+          let cb = parse_index line ~reg:"c" lhs in
+          match String.split_on_char ' ' rhs |> List.filter (fun w -> w <> "") with
+          | [ "measure"; qarg ] ->
+            add (Gate.Measure (parse_index line ~reg:"q" qarg, cb))
+          | _ -> fail line "only `c[i] = measure q[j]` assignments are supported"
+        end
+        else begin
+          (* gate applications *)
+          match words with
+          | head :: args ->
+            let name, angle = split_head head in
+            let operands = split_args (String.concat " " args) in
+            (match (name, operands) with
+             | ("cx" | "cz" | "swap" | "rzz"), [ a; b ] ->
+               let qa = parse_index line ~reg:"q" a
+               and qb = parse_index line ~reg:"q" b in
+               (match (name, angle) with
+                | "cx", None -> add (Gate.Cx (qa, qb))
+                | "cz", None -> add (Gate.Cz (qa, qb))
+                | "swap", None -> add (Gate.Swap (qa, qb))
+                | "rzz", Some th -> add (Gate.Rzz (parse_angle line th, qa, qb))
+                | _ -> fail line (Printf.sprintf "bad 2-qubit gate %S" name))
+             | _, [ qarg ] -> one_q line name angle (parse_index line ~reg:"q" qarg)
+             | _ -> fail line (Printf.sprintf "unsupported statement %S" stmt))
+          | [] -> ()
+        end)
+    (statements text);
+  Circuit.of_kinds ~num_qubits:!num_qubits ~num_clbits:!num_clbits
+    (List.rev !rev_kinds)

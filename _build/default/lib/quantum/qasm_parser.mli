@@ -1,0 +1,17 @@
+(** Parser for the OpenQASM 3 subset that {!Qasm} emits (plus the common
+    OpenQASM 2 measurement spelling), so circuits survive a round trip
+    through their textual form and external tools can feed circuits in:
+
+    - [qubit[n] q;] / [bit[n] c;] declarations (also [qreg]/[creg]),
+    - gates [h x y z s sdg t tdg sx], [rx(a) ry(a) rz(a) p(a)],
+      [cx cz swap], [rzz(a)],
+    - [c[i] = measure q[j];] and [measure q[j] -> c[i];],
+    - [reset q[i];], [if (c[i]) x q[j];], [barrier q[...], ...;],
+    - [OPENQASM ...;] and [include ...;] headers (ignored), [//] comments.
+
+    Angles accept float literals and [pi] expressions ([pi/2], [2*pi],
+    [-pi]). *)
+
+(** [of_string text] parses a program. Raises [Failure] with a
+    line-numbered message on unsupported or malformed input. *)
+val of_string : string -> Circuit.t

@@ -1,0 +1,19 @@
+(** Transitive reachability over a gate DAG, the engine behind Condition 2
+    (paper §3.1): a reuse pair [(q_i -> q_j)] is invalid when some gate on
+    [q_i] transitively depends on a gate on [q_j], because inserting the
+    measure-and-reset node would then close a cycle.
+
+    Stored as one bitset per node; building is O(n^2 / word) which matches
+    the paper's O(n^2) dependence-tracking overhead analysis (§3.4). *)
+
+type t
+
+val build : Dag.t -> t
+
+(** [reaches t i j] is true iff there is a directed path [i ->* j]
+    (including [i = j]). *)
+val reaches : t -> int -> int -> bool
+
+(** [any_path t srcs dsts] is true iff some [s] in [srcs] reaches some [d]
+    in [dsts]. *)
+val any_path : t -> int list -> int list -> bool

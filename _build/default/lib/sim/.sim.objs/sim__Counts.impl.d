@@ -1,0 +1,1 @@
+lib/sim/counts.ml: Float Format Hashtbl List Option String

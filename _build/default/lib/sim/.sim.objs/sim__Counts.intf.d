@@ -1,0 +1,1 @@
+lib/sim/counts.mli: Format

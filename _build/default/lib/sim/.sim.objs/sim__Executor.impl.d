@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Array Counts Hashtbl List Option Quantum Random State

@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Array Counts Executor Float Hardware List Quantum Random State

@@ -1,0 +1,1 @@
+lib/sim/observable.ml: Array Counts Executor List Quantum Random State

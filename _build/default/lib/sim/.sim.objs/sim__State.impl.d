@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Float Quantum Random

@@ -1,0 +1,33 @@
+(** Measurement-outcome histograms and the total variation distance (TVD)
+    metric the paper reports in Table 3. Outcomes are classical-register
+    values (little-endian ints over the circuit's clbits). *)
+
+type t
+
+val create : num_clbits:int -> t
+val num_clbits : t -> int
+val add : t -> int -> unit
+val total : t -> int
+val get : t -> int -> int
+
+(** Outcome frequencies as a probability map (only nonzero entries). *)
+val to_probs : t -> (int * float) list
+
+(** [of_probs ~num_clbits probs] builds pseudo-counts from an exact
+    distribution (scaled to [shots]). *)
+val of_probs : num_clbits:int -> shots:int -> (int * float) list -> t
+
+(** Total variation distance: [0.5 * sum_x |p(x) - q(x)|], in [0, 1]. *)
+val tvd : t -> t -> float
+
+(** Probability mass on a single outcome — "success rate" when the ideal
+    output is a known bitstring. *)
+val success_rate : t -> int -> float
+
+(** Expectation of [f outcome] under the empirical distribution. *)
+val expectation : t -> (int -> float) -> float
+
+(** Most frequent outcome, [None] when empty. *)
+val top : t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+let apply_gate rng st creg kind =
+  match kind with
+  | Quantum.Gate.One_q (g, q) -> State.apply_one_q st g q
+  | Quantum.Gate.Cx (a, b) -> State.apply_cx st a b
+  | Quantum.Gate.Cz (a, b) -> State.apply_cz st a b
+  | Quantum.Gate.Rzz (th, a, b) -> State.apply_rzz st th a b
+  | Quantum.Gate.Swap (a, b) -> State.apply_swap st a b
+  | Quantum.Gate.Measure (q, c) ->
+    let outcome = State.measure rng st q in
+    creg := (!creg land lnot (1 lsl c)) lor (outcome lsl c)
+  | Quantum.Gate.Reset q -> State.reset rng st q
+  | Quantum.Gate.If_x (c, q) -> if !creg land (1 lsl c) <> 0 then State.apply_one_q st Quantum.Gate.X q
+  | Quantum.Gate.Barrier _ -> ()
+
+let run_shot rng (c : Quantum.Circuit.t) =
+  let st = State.init c.num_qubits in
+  let creg = ref 0 in
+  Array.iter (fun g -> apply_gate rng st creg g.Quantum.Gate.kind) c.gates;
+  !creg
+
+let compact c = fst (Quantum.Circuit.compact_qubits c)
+
+let run ~seed ~shots circuit =
+  let circuit = compact circuit in
+  let rng = Random.State.make [| seed; 0xe7ec |] in
+  let counts = Counts.create ~num_clbits:circuit.num_clbits in
+  for _ = 1 to shots do
+    Counts.add counts (run_shot rng circuit)
+  done;
+  counts
+
+(* Dynamic ops other than a trailing block of measurements make the
+   distribution shot-dependent. *)
+let only_final_measurements (c : Quantum.Circuit.t) =
+  let seen_measure = Array.make (max 1 c.num_qubits) false in
+  let ok = ref true in
+  Array.iter
+    (fun g ->
+      match g.Quantum.Gate.kind with
+      | Quantum.Gate.Measure (q, _) -> seen_measure.(q) <- true
+      | Quantum.Gate.Reset _ | Quantum.Gate.If_x _ -> ok := false
+      | k -> List.iter (fun q -> if seen_measure.(q) then ok := false) (Quantum.Gate.qubits k))
+    c.gates;
+  !ok
+
+let distribution ~seed circuit =
+  let circuit = compact circuit in
+  if not (only_final_measurements circuit) then run ~seed ~shots:4096 circuit
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let st = State.init circuit.num_qubits in
+    (* clbit <- qubit wiring of the final measurements *)
+    let wiring = ref [] in
+    Array.iter
+      (fun g ->
+        match g.Quantum.Gate.kind with
+        | Quantum.Gate.Measure (q, c) -> wiring := (q, c) :: !wiring
+        | k -> apply_gate rng st (ref 0) k)
+      circuit.gates;
+    let probs = State.probabilities st in
+    let table = Hashtbl.create 64 in
+    Array.iteri
+      (fun basis p ->
+        if p > 1e-12 then begin
+          let outcome =
+            List.fold_left
+              (fun acc (q, c) ->
+                if basis land (1 lsl q) <> 0 then acc lor (1 lsl c) else acc)
+              0 !wiring
+          in
+          let cur = Option.value ~default:0. (Hashtbl.find_opt table outcome) in
+          Hashtbl.replace table outcome (cur +. p)
+        end)
+      probs;
+    Counts.of_probs ~num_clbits:circuit.num_clbits ~shots:1_000_000
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  end
+
+let expectation ~seed ~shots circuit f =
+  Counts.expectation (run ~seed ~shots circuit) f

@@ -1,0 +1,18 @@
+(** Shot-based circuit execution on the state-vector backend.
+
+    Circuits with dynamic operations (mid-circuit measurement, reset,
+    conditional X) are re-simulated per shot because measurement collapse
+    is stochastic — exactly the semantics the hardware gives the paper's
+    transformed circuits. Wide circuits are first compacted onto their
+    active wires so a 27-qubit device circuit using 13 qubits simulates on
+    13. *)
+
+(** [run ~seed ~shots circuit] samples the classical register. *)
+val run : seed:int -> shots:int -> Quantum.Circuit.t -> Counts.t
+
+(** Exact outcome distribution for circuits whose only dynamic operations
+    are final measurements; falls back to 4096-shot sampling otherwise. *)
+val distribution : seed:int -> Quantum.Circuit.t -> Counts.t
+
+(** Expectation of [f register] under [run]. *)
+val expectation : seed:int -> shots:int -> Quantum.Circuit.t -> (int -> float) -> float

@@ -1,0 +1,134 @@
+type ctx = {
+  device : Hardware.Device.t;
+  phys_of : int array;  (* compacted wire -> physical qubit *)
+  rng : Random.State.t;
+}
+
+let depolarize_1q ctx st q p =
+  if Random.State.float ctx.rng 1. < p then
+    State.apply_pauli st (1 + Random.State.int ctx.rng 3) q
+
+let depolarize_2q ctx st a b p =
+  if Random.State.float ctx.rng 1. < p then begin
+    (* One of the 15 non-identity two-qubit Paulis. *)
+    let k = 1 + Random.State.int ctx.rng 15 in
+    State.apply_pauli st (k land 3) a;
+    State.apply_pauli st ((k lsr 2) land 3) b
+  end
+
+(* Pauli-twirled thermal relaxation over an idle window of [dt] cycles. *)
+let relax ctx st q ~idle_dt =
+  if idle_dt > 0 then begin
+    let cal = Hardware.Calibration.qubit ctx.device.Hardware.Device.calibration
+        ctx.phys_of.(q)
+    in
+    let t1 = cal.Hardware.Calibration.t1_dt in
+    let t2 = cal.Hardware.Calibration.t2_dt in
+    if t1 < infinity then begin
+      let t = float_of_int idle_dt in
+      let p_relax = 1. -. exp (-.t /. t1) in
+      let p_dephase = 1. -. exp (-.t /. t2) in
+      let px = p_relax /. 4. in
+      let pz = Float.max 0. ((p_dephase /. 2.) -. (p_relax /. 4.)) in
+      let r = Random.State.float ctx.rng 1. in
+      if r < px then State.apply_pauli st 1 q
+      else if r < 2. *. px then State.apply_pauli st 2 q
+      else if r < (2. *. px) +. pz then State.apply_pauli st 3 q
+    end
+  end
+
+let gate_duration ctx kind =
+  match kind with
+  | Quantum.Gate.Cx (a, b) | Quantum.Gate.Cz (a, b) | Quantum.Gate.Rzz (_, a, b) ->
+    Hardware.Device.cx_duration ctx.device ctx.phys_of.(a) ctx.phys_of.(b)
+  | Quantum.Gate.Swap (a, b) ->
+    3 * Hardware.Device.cx_duration ctx.device ctx.phys_of.(a) ctx.phys_of.(b)
+  | k -> Quantum.Duration.of_kind Quantum.Duration.default k
+
+let run_shot ctx (c : Quantum.Circuit.t) =
+  let st = State.init c.num_qubits in
+  let creg = ref 0 in
+  let qfront = Array.make (max 1 c.num_qubits) 0 in
+  let cfront = Array.make (max 1 c.num_clbits) 0 in
+  Array.iter
+    (fun g ->
+      let kind = g.Quantum.Gate.kind in
+      if not (Quantum.Gate.is_barrier kind) then begin
+        let qs = Quantum.Gate.qubits kind and cs = Quantum.Gate.clbits kind in
+        let start =
+          List.fold_left
+            (fun acc cb -> max acc cfront.(cb))
+            (List.fold_left (fun acc q -> max acc qfront.(q)) 0 qs)
+            cs
+        in
+        (* Idle relaxation on each operand between its last op and now. *)
+        List.iter (fun q -> relax ctx st q ~idle_dt:(start - qfront.(q))) qs;
+        let dur = gate_duration ctx kind in
+        let finish = start + dur in
+        (match kind with
+         | Quantum.Gate.One_q (gq, q) ->
+           State.apply_one_q st gq q;
+           let p =
+             (Hardware.Calibration.qubit
+                ctx.device.Hardware.Device.calibration ctx.phys_of.(q))
+               .Hardware.Calibration.one_q_error
+           in
+           depolarize_1q ctx st q p
+         | Quantum.Gate.Cx (a, b) | Quantum.Gate.Cz (a, b) | Quantum.Gate.Rzz (_, a, b) | Quantum.Gate.Swap (a, b)
+           ->
+           (match kind with
+            | Quantum.Gate.Cx (a, b) -> State.apply_cx st a b
+            | Quantum.Gate.Cz (a, b) -> State.apply_cz st a b
+            | Quantum.Gate.Rzz (th, a, b) -> State.apply_rzz st th a b
+            | Quantum.Gate.Swap (a, b) -> State.apply_swap st a b
+            | _ -> ());
+           let p =
+             Hardware.Device.cx_error ctx.device ctx.phys_of.(a) ctx.phys_of.(b)
+           in
+           let p =
+             match kind with
+             | Quantum.Gate.Swap _ -> 1. -. ((1. -. p) ** 3.)
+             | _ -> p
+           in
+           (* Non-adjacent operands mean the caller skipped routing; fall
+              back to a generic error rather than the sentinel 1.0. *)
+           let p = if p >= 1. then 0.02 else p in
+           depolarize_2q ctx st a b p
+         | Quantum.Gate.Measure (q, cb) ->
+           let outcome = State.measure ctx.rng st q in
+           let ro =
+             Hardware.Device.readout_error ctx.device ctx.phys_of.(q)
+           in
+           let outcome =
+             if Random.State.float ctx.rng 1. < ro then 1 - outcome else outcome
+           in
+           creg := (!creg land lnot (1 lsl cb)) lor (outcome lsl cb)
+         | Quantum.Gate.Reset q -> State.reset ctx.rng st q
+         | Quantum.Gate.If_x (cb, q) ->
+           if !creg land (1 lsl cb) <> 0 then State.apply_one_q st Quantum.Gate.X q
+         | Quantum.Gate.Barrier _ -> ());
+        List.iter (fun q -> qfront.(q) <- finish) qs;
+        List.iter (fun cb -> cfront.(cb) <- finish) cs
+      end)
+    c.gates;
+  !creg
+
+let prepare circuit =
+  let compacted, remap = Quantum.Circuit.compact_qubits circuit in
+  let phys_of = Array.make (max 1 compacted.Quantum.Circuit.num_qubits) 0 in
+  Array.iteri (fun old_q new_q -> if new_q >= 0 then phys_of.(new_q) <- old_q) remap;
+  (compacted, phys_of)
+
+let run ~device ~seed ~shots circuit =
+  let compacted, phys_of = prepare circuit in
+  let ctx = { device; phys_of; rng = Random.State.make [| seed; 0x401 |] } in
+  let counts = Counts.create ~num_clbits:compacted.Quantum.Circuit.num_clbits in
+  for _ = 1 to shots do
+    Counts.add counts (run_shot ctx compacted)
+  done;
+  counts
+
+let tvd_vs_ideal ~device ~seed ~shots circuit =
+  let noisy = run ~device ~seed ~shots circuit in
+  let ideal = Executor.distribution ~seed circuit in
+  Counts.tvd noisy ideal

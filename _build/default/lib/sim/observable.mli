@@ -1,0 +1,42 @@
+(** Pauli-string observables measured the way hardware measures them:
+    rotate each qubit into the Z basis, sample bitstrings, average parity
+    — the machinery behind VQE-style energy estimation on top of any
+    compiled (possibly qubit-reused) circuit.
+
+    An observable is a real-weighted sum of Pauli terms. Terms are grouped
+    by measurement basis: all-Z terms share one circuit; terms that agree
+    on every qubit's basis (X/Y/Z or identity) share one too. *)
+
+type pauli = I | X | Y | Z
+
+(** One term: coefficient and per-qubit Pauli (index = qubit). Identities
+    may be omitted. *)
+type term = { coeff : float; paulis : (int * pauli) list }
+
+type t = term list
+
+(** Convenience constructors. *)
+val zz : ?coeff:float -> int -> int -> term
+
+val x_ : ?coeff:float -> int -> term
+val z_ : ?coeff:float -> int -> term
+
+(** Transverse-field Ising chain on [n] qubits:
+    [- j * sum ZZ - g * sum X]. *)
+val ising_chain : n:int -> j:float -> g:float -> t
+
+(** [measurement_bases obs] groups terms into as few shared measurement
+    bases as possible (greedy): each group is a per-qubit basis choice
+    plus the member terms. *)
+val measurement_bases : t -> ((int * pauli) list * term list) list
+
+(** [expectation ~seed ~shots ~prepare obs] estimates [<obs>] on the
+    state produced by [prepare]: a function giving the state-preparation
+    circuit *without* measurements (on however many qubits the observable
+    touches). One circuit is sampled per measurement basis. *)
+val expectation :
+  seed:int -> shots:int -> prepare:Quantum.Circuit.t -> t -> float
+
+(** Exact expectation from the state vector (no sampling noise); the
+    preparation circuit must be unitary (no dynamic operations). *)
+val expectation_exact : prepare:Quantum.Circuit.t -> t -> float

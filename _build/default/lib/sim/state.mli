@@ -1,0 +1,41 @@
+(** Dense state-vector over [n] qubits (little-endian: qubit [q] is bit [q]
+    of the basis index). Supports the dynamic-circuit primitives the paper
+    relies on: projective mid-circuit measurement with collapse, reset, and
+    X conditioned on a classical bit. Mutable: gates update in place. *)
+
+type t
+
+(** [init n] is |0...0> on [n] qubits. [n <= 24] enforced (dense vector). *)
+val init : int -> t
+
+val num_qubits : t -> int
+
+(** Squared norm (should stay 1 up to rounding). *)
+val norm2 : t -> float
+
+(** Amplitude of basis state [i] as [(re, im)]. *)
+val amplitude : t -> int -> float * float
+
+(** Probability of measuring basis state [i]. *)
+val probability : t -> int -> float
+
+(** Full probability vector, length [2^n]. *)
+val probabilities : t -> float array
+
+val apply_one_q : t -> Quantum.Gate.one_q -> int -> unit
+val apply_cx : t -> int -> int -> unit
+val apply_cz : t -> int -> int -> unit
+val apply_rzz : t -> float -> int -> int -> unit
+val apply_swap : t -> int -> int -> unit
+
+(** Apply a Pauli (for noise injection): 0 = I, 1 = X, 2 = Y, 3 = Z. *)
+val apply_pauli : t -> int -> int -> unit
+
+(** [measure rng st q] samples an outcome, collapses, renormalizes. *)
+val measure : Random.State.t -> t -> int -> int
+
+(** Measure-and-discard: force the qubit to |0> (measure, X if 1). *)
+val reset : Random.State.t -> t -> int -> unit
+
+(** Probability that qubit [q] reads 1. *)
+val prob_one : t -> int -> float

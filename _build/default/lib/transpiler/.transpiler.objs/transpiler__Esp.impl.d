@@ -1,0 +1,1 @@
+lib/transpiler/esp.ml: Array Float Hardware List Quantum Transpile

@@ -1,0 +1,1 @@
+lib/transpiler/esp.mli: Hardware Quantum

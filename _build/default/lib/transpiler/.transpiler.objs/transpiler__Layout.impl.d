@@ -1,0 +1,1 @@
+lib/transpiler/layout.ml: Array Fun Galg Hardware List Quantum

@@ -1,0 +1,1 @@
+lib/transpiler/layout.mli: Hardware Quantum

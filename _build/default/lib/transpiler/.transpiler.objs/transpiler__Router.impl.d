@@ -1,0 +1,1 @@
+lib/transpiler/router.ml: Array Fun Hardware Hashtbl Layout List Quantum Queue

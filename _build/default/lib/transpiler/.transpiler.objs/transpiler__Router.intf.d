@@ -1,0 +1,1 @@
+lib/transpiler/router.mli: Hardware Layout Quantum

@@ -1,0 +1,1 @@
+lib/transpiler/transpile.ml: Array Format Hardware Layout List Quantum Router

@@ -1,0 +1,1 @@
+lib/transpiler/transpile.mli: Format Hardware Quantum

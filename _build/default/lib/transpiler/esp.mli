@@ -1,0 +1,27 @@
+(** Estimated success probability (ESP) — the analytic fidelity metric the
+    paper uses to rank compiled versions ("depending on the fidelity
+    metric, for instance, estimated success probability", §3.2.1; and the
+    abstract's "improved estimated success probability").
+
+    ESP multiplies per-operation survival probabilities from the device
+    calibration:
+
+    - each one-qubit gate survives with [1 - one_q_error],
+    - each CNOT-class gate with [1 - cx_error(link)] (SWAP counts thrice),
+    - each measurement with [1 - readout_error],
+    - and every qubit decoheres over the scheduled duration [T] of its
+      wire with [exp (-T / T1) * exp (-T / T2)]-style damping, folded in
+      as [exp (-T/T1) * exp (-T/T2)] per active qubit.
+
+    Wires must be physical (device) qubits. *)
+
+(** [of_circuit device circuit] in [0, 1]; 1 for an empty circuit on an
+    ideal device. *)
+val of_circuit : Hardware.Device.t -> Quantum.Circuit.t -> float
+
+(** Gate-error-only factor (no decoherence term): useful to separate the
+    two contributions in ablations. *)
+val gate_factor : Hardware.Device.t -> Quantum.Circuit.t -> float
+
+(** Decoherence-only factor. *)
+val decoherence_factor : Hardware.Device.t -> Quantum.Circuit.t -> float

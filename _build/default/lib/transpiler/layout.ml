@@ -1,0 +1,71 @@
+type t = { l2p : int array; p2l : int array }
+
+let trivial device n =
+  if n > Hardware.Device.num_qubits device then
+    invalid_arg "Layout.trivial: device too small";
+  let np = Hardware.Device.num_qubits device in
+  let p2l = Array.make np (-1) in
+  for l = 0 to n - 1 do
+    p2l.(l) <- l
+  done;
+  { l2p = Array.init n Fun.id; p2l }
+
+let initial device (circuit : Quantum.Circuit.t) =
+  let nl = circuit.num_qubits in
+  let np = Hardware.Device.num_qubits device in
+  if nl > np then invalid_arg "Layout.initial: device too small";
+  let inter = Quantum.Circuit.interaction_graph circuit in
+  let l2p = Array.make nl (-1) in
+  let p2l = Array.make np (-1) in
+  let order =
+    List.sort
+      (fun a b -> compare (Galg.Graph.degree inter b) (Galg.Graph.degree inter a))
+      (List.init nl Fun.id)
+  in
+  let place l p =
+    l2p.(l) <- p;
+    p2l.(p) <- l
+  in
+  let free p = p2l.(p) = -1 in
+  let best_free score =
+    let best = ref (-1) and best_score = ref neg_infinity in
+    for p = 0 to np - 1 do
+      if free p then begin
+        let s = score p in
+        if s > !best_score then begin
+          best := p;
+          best_score := s
+        end
+      end
+    done;
+    !best
+  in
+  List.iter
+    (fun l ->
+      if l2p.(l) < 0 then begin
+        let placed_neighbors =
+          List.filter (fun m -> l2p.(m) >= 0) (Galg.Graph.neighbors inter l)
+        in
+        let score p =
+          let dist_penalty =
+            List.fold_left
+              (fun acc m ->
+                acc + Hardware.Device.distance device p l2p.(m))
+              0 placed_neighbors
+          in
+          Hardware.Device.qubit_quality device p
+          -. (10. *. float_of_int dist_penalty)
+        in
+        place l (best_free score)
+      end)
+    order;
+  { l2p; p2l }
+
+let copy t = { l2p = Array.copy t.l2p; p2l = Array.copy t.p2l }
+
+let apply_swap t p1 p2 =
+  let l1 = t.p2l.(p1) and l2 = t.p2l.(p2) in
+  t.p2l.(p1) <- l2;
+  t.p2l.(p2) <- l1;
+  if l1 >= 0 then t.l2p.(l1) <- p2;
+  if l2 >= 0 then t.l2p.(l2) <- p1

@@ -1,0 +1,24 @@
+(** Initial placement of logical qubits onto device qubits.
+
+    Heuristic in the spirit of Qiskit's dense/SABRE layouts: logical qubits
+    are placed in decreasing interaction-degree order; each goes to the
+    free physical qubit minimizing distance to its already-placed
+    interaction neighbors, with device quality (connectivity, readout and
+    CNOT fidelity) breaking ties. *)
+
+type t = {
+  l2p : int array;  (** logical -> physical *)
+  p2l : int array;  (** physical -> logical, [-1] when free *)
+}
+
+(** [initial device circuit] places every logical wire of [circuit].
+    Raises [Invalid_argument] if the device is too small. *)
+val initial : Hardware.Device.t -> Quantum.Circuit.t -> t
+
+(** Identity layout on the first [n] physical qubits. *)
+val trivial : Hardware.Device.t -> int -> t
+
+val copy : t -> t
+
+(** Swap the logical occupants of two physical qubits (either may be free). *)
+val apply_swap : t -> int -> int -> unit

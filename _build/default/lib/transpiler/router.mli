@@ -1,0 +1,15 @@
+(** SWAP-insertion routing, SABRE-flavoured: schedule every dependence-free
+    gate that is hardware-compliant; when blocked, insert the SWAP that
+    most reduces the summed front-layer distance, with a lookahead window
+    and an error-aware tie-break. This is the baseline Qiskit-O3 stand-in
+    (DESIGN.md substitutions). *)
+
+type result = {
+  physical : Quantum.Circuit.t;  (** wires are device qubits *)
+  swaps_added : int;
+  final_layout : Layout.t;
+}
+
+(** [route device layout circuit] routes a logical circuit. The layout is
+    not mutated. All logical wires must be mapped. *)
+val route : Hardware.Device.t -> Layout.t -> Quantum.Circuit.t -> result

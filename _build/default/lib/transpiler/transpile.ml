@@ -1,0 +1,65 @@
+type stats = {
+  qubits_used : int;
+  depth : int;
+  duration_dt : int;
+  swaps : int;
+  two_q : int;
+  gate_count : int;
+}
+
+type result = { physical : Quantum.Circuit.t; stats : stats }
+
+let physical_duration device (c : Quantum.Circuit.t) =
+  let qfront = Array.make (max 1 c.num_qubits) 0 in
+  let cfront = Array.make (max 1 c.num_clbits) 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun g ->
+      let k = g.Quantum.Gate.kind in
+      if not (Quantum.Gate.is_barrier k) then begin
+        let qs = Quantum.Gate.qubits k and cs = Quantum.Gate.clbits k in
+        let dur =
+          match k with
+          | Quantum.Gate.Cx (a, b) | Quantum.Gate.Cz (a, b) | Quantum.Gate.Rzz (_, a, b)
+            ->
+            Hardware.Device.cx_duration device a b
+          | Quantum.Gate.Swap (a, b) -> 3 * Hardware.Device.cx_duration device a b
+          | k -> Quantum.Duration.of_kind Quantum.Duration.default k
+        in
+        let start =
+          List.fold_left
+            (fun acc cb -> max acc cfront.(cb))
+            (List.fold_left (fun acc q -> max acc qfront.(q)) 0 qs)
+            cs
+        in
+        let finish = start + dur in
+        List.iter (fun q -> qfront.(q) <- finish) qs;
+        List.iter (fun cb -> cfront.(cb) <- finish) cs;
+        if finish > !total then total := finish
+      end)
+    c.gates;
+  !total
+
+let stats_of device physical =
+  {
+    qubits_used = List.length (Quantum.Circuit.active_qubits physical);
+    depth = Quantum.Circuit.depth physical;
+    duration_dt = physical_duration device physical;
+    swaps = Quantum.Circuit.swap_count physical;
+    two_q =
+      Quantum.Circuit.two_q_count physical
+      + (2 * Quantum.Circuit.swap_count physical);
+    (* a SWAP is 3 CNOTs: count the 2 extra *)
+    gate_count = Quantum.Circuit.gate_count physical;
+  }
+
+let run device circuit =
+  (* Qiskit-O3-style gate-level cleanup before routing. *)
+  let circuit = Quantum.Optimize.peephole circuit in
+  let layout = Layout.initial device circuit in
+  let routed = Router.route device layout circuit in
+  { physical = routed.Router.physical; stats = stats_of device routed.Router.physical }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "qubits=%d depth=%d duration=%ddt swaps=%d 2q=%d gates=%d"
+    s.qubits_used s.depth s.duration_dt s.swaps s.two_q s.gate_count

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Benchmarks Galg List Printf Quantum Sim

@@ -1,0 +1,1 @@
+test/test_commute.ml: Alcotest Array Caqr Float Galg List Qaoa Quantum Sim

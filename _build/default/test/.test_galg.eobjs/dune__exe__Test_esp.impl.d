@@ -1,0 +1,1 @@
+test/test_esp.ml: Alcotest Benchmarks Caqr Hardware Quantum Sim Transpiler

@@ -1,0 +1,1 @@
+test/test_extra_benchmarks.ml: Alcotest Benchmarks Caqr Galg Hardware List Printf Quantum Sim

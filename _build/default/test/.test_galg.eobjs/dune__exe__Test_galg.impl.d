@@ -1,0 +1,1 @@
+test/test_galg.ml: Alcotest Array Galg List

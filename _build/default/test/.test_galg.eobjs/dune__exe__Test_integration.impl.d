@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Benchmarks Caqr Galg Hardware List Printf Qaoa Quantum Sim String Transpiler

@@ -1,0 +1,1 @@
+test/test_noise_scale.ml: Alcotest Benchmarks Hardware Printf Sim Transpiler

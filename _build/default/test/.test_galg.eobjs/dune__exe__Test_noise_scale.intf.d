@@ -1,0 +1,1 @@
+test/test_noise_scale.mli:

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Benchmarks Caqr Float Galg List Quantum Sim

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Benchmarks Caqr Galg Hardware List Quantum Sim String Transpiler

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Caqr Float Galg List Printf QCheck QCheck_alcotest Quantum Random Sim String

@@ -1,0 +1,1 @@
+test/test_qaoa.ml: Alcotest Array Float Galg List Qaoa Quantum Sim

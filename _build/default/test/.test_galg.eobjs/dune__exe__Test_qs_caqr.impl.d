@@ -1,0 +1,1 @@
+test/test_qs_caqr.ml: Alcotest Benchmarks Caqr List Printf Quantum Sim

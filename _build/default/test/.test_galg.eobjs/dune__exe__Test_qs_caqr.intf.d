@@ -1,0 +1,1 @@
+test/test_qs_caqr.mli:

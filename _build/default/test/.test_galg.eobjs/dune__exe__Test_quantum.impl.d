@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Galg List Quantum String

@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Array Benchmarks Caqr List Printf Quantum Sim

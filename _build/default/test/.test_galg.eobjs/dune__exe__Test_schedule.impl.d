@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Benchmarks Caqr List Quantum String

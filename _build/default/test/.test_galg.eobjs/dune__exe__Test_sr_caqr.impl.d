@@ -1,0 +1,1 @@
+test/test_sr_caqr.ml: Alcotest Array Benchmarks Caqr Float Galg Hardware List Printf Qaoa Quantum Sim Transpiler

@@ -1,0 +1,1 @@
+test/test_sr_caqr.mli:

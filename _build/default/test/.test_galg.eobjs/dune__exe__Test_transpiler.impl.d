@@ -1,0 +1,1 @@
+test/test_transpiler.ml: Alcotest Array Benchmarks Hardware Hashtbl List Quantum Sim Transpiler

@@ -1,0 +1,173 @@
+(* Unit tests for the benchmark circuits: widths, structure, and — since
+   all regular benchmarks are computational-basis-deterministic — their
+   ideal outputs. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let deterministic_output circuit =
+  let d = Sim.Executor.run ~seed:1 ~shots:64 circuit in
+  match Sim.Counts.top d with
+  | Some k when Sim.Counts.get d k = 64 -> Some k
+  | _ -> None
+
+(* ---- BV ---- *)
+
+let test_bv_width () =
+  let c = Benchmarks.Bv.circuit 5 in
+  check int "qubits" 5 c.Quantum.Circuit.num_qubits;
+  check int "clbits" 4 c.Quantum.Circuit.num_clbits
+
+let test_bv_star_interaction () =
+  let g = Quantum.Circuit.interaction_graph (Benchmarks.Bv.circuit 6) in
+  check int "ancilla degree" 5 (Galg.Graph.degree g 5);
+  check int "leaf degree" 1 (Galg.Graph.degree g 0)
+
+let test_bv_outputs_secret () =
+  List.iter
+    (fun n ->
+      match deterministic_output (Benchmarks.Bv.circuit n) with
+      | Some k -> check int (Printf.sprintf "bv%d secret" n) (Benchmarks.Bv.expected_output n) k
+      | None -> Alcotest.fail "BV must be deterministic")
+    [ 3; 5; 8 ]
+
+let test_bv_custom_secret () =
+  let c = Benchmarks.Bv.circuit ~secret:0b0101 5 in
+  (match deterministic_output c with
+   | Some k -> check int "custom secret" 0b0101 k
+   | None -> Alcotest.fail "deterministic");
+  check int "fewer cx" 2 (Quantum.Circuit.two_q_count c)
+
+let test_bv_too_small () =
+  Alcotest.check_raises "n >= 2"
+    (Invalid_argument "Bv.circuit: need at least 2 qubits") (fun () ->
+      ignore (Benchmarks.Bv.circuit 1))
+
+(* ---- RevLib-style ---- *)
+
+let test_rd32_adder () =
+  let c = Benchmarks.Revlib.rd32 () in
+  check int "5 qubits" 5 c.Quantum.Circuit.num_qubits;
+  match deterministic_output c with
+  | Some k ->
+    (* inputs 1,0,1: sum = 0 (bit 3), carry = 1 (bit 4); inputs echo. *)
+    check int "adder result" 0b10101 k
+  | None -> Alcotest.fail "rd32 deterministic"
+
+let test_4mod5 () =
+  let c = Benchmarks.Revlib.four_mod5 () in
+  check int "5 qubits" 5 c.Quantum.Circuit.num_qubits;
+  check bool "deterministic" true (deterministic_output c <> None)
+
+let test_multiply13 () =
+  let c = Benchmarks.Revlib.multiply_13 () in
+  check int "13 qubits" 13 c.Quantum.Circuit.num_qubits;
+  match deterministic_output c with
+  | Some k ->
+    (* a = 3 (q0,q1), b = 5 (q3,q5): carry-less 3*5 = 0b1111 on p0..p3
+       (GF(2): (x+1)(x^2+1) = x^3+x^2+x+1). *)
+    check int "a echo" 0b011 (k land 0b111);
+    check int "b echo" 0b101 ((k lsr 3) land 0b111);
+    check int "product" 0b1111 ((k lsr 6) land 0b111111
+    )
+  | None -> Alcotest.fail "multiply deterministic"
+
+let test_system9 () =
+  let c = Benchmarks.Revlib.system_9 () in
+  check int "9 qubits" 9 c.Quantum.Circuit.num_qubits;
+  check bool "deterministic" true (deterministic_output c <> None)
+
+let test_cc_structure () =
+  let c = Benchmarks.Revlib.cc 10 in
+  check int "10 qubits" 10 c.Quantum.Circuit.num_qubits;
+  let g = Quantum.Circuit.interaction_graph c in
+  check int "star center" 5 (Galg.Graph.degree g 9);
+  check bool "deterministic" true (deterministic_output c <> None)
+
+let test_xor5 () =
+  let c = Benchmarks.Revlib.xor5 () in
+  match deterministic_output c with
+  | Some k ->
+    (* parity of 1,0,1,0 = 0 on q4; inputs echo. *)
+    check int "parity result" 0b00101 k
+  | None -> Alcotest.fail "xor5 deterministic"
+
+let test_ccx_truth_table () =
+  (* Exhaustive Toffoli check through the 6-CX decomposition. *)
+  List.iter
+    (fun (a, b) ->
+      let bd = Quantum.Circuit.Builder.create ~num_qubits:3 ~num_clbits:3 in
+      if a = 1 then Quantum.Circuit.Builder.x bd 0;
+      if b = 1 then Quantum.Circuit.Builder.x bd 1;
+      Benchmarks.Revlib.ccx bd 0 1 2;
+      Quantum.Circuit.Builder.measure bd 0 0;
+      Quantum.Circuit.Builder.measure bd 1 1;
+      Quantum.Circuit.Builder.measure bd 2 2;
+      let c = Quantum.Circuit.Builder.build bd in
+      match deterministic_output c with
+      | Some k ->
+        let expected = a lor (b lsl 1) lor ((a land b) lsl 2) in
+        check int (Printf.sprintf "ccx %d%d" a b) expected k
+      | None -> Alcotest.fail "ccx deterministic")
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+(* ---- Suite ---- *)
+
+let test_suite_names () =
+  let names = List.map (fun e -> e.Benchmarks.Suite.name) (Benchmarks.Suite.table1 ()) in
+  List.iter
+    (fun n -> check bool n true (List.mem n names))
+    [ "RD-32"; "4mod5"; "Multiply_13"; "System_9"; "BV_10"; "CC_10"; "XOR_5";
+      "QAOA5-0.3"; "QAOA10-0.3"; "QAOA15-0.3"; "QAOA20-0.3"; "QAOA25-0.3" ]
+
+let test_suite_kinds () =
+  let is_commutable e =
+    match e.Benchmarks.Suite.kind with
+    | Benchmarks.Suite.Commutable _ -> true
+    | Benchmarks.Suite.Regular -> false
+  in
+  check bool "bv regular" false (is_commutable (Benchmarks.Suite.find "BV_10"));
+  check bool "qaoa commutable" true (is_commutable (Benchmarks.Suite.find "QAOA10-0.3"))
+
+let test_suite_find_missing () =
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Benchmarks.Suite.find "nope"))
+
+let test_qaoa_entry_graph_matches_circuit () =
+  let e = Benchmarks.Suite.find "QAOA10-0.3" in
+  match e.Benchmarks.Suite.kind with
+  | Benchmarks.Suite.Commutable g ->
+    check int "rzz count = edges" (Galg.Graph.size g)
+      (Quantum.Circuit.two_q_count e.Benchmarks.Suite.circuit)
+  | Benchmarks.Suite.Regular -> Alcotest.fail "should be commutable"
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "bv",
+        [
+          Alcotest.test_case "width" `Quick test_bv_width;
+          Alcotest.test_case "star interaction" `Quick test_bv_star_interaction;
+          Alcotest.test_case "outputs secret" `Quick test_bv_outputs_secret;
+          Alcotest.test_case "custom secret" `Quick test_bv_custom_secret;
+          Alcotest.test_case "too small" `Quick test_bv_too_small;
+        ] );
+      ( "revlib",
+        [
+          Alcotest.test_case "rd32 adder" `Quick test_rd32_adder;
+          Alcotest.test_case "4mod5" `Quick test_4mod5;
+          Alcotest.test_case "multiply_13" `Quick test_multiply13;
+          Alcotest.test_case "system_9" `Quick test_system9;
+          Alcotest.test_case "cc structure" `Quick test_cc_structure;
+          Alcotest.test_case "xor5" `Quick test_xor5;
+          Alcotest.test_case "ccx truth table" `Quick test_ccx_truth_table;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "names" `Quick test_suite_names;
+          Alcotest.test_case "kinds" `Quick test_suite_kinds;
+          Alcotest.test_case "find missing" `Quick test_suite_find_missing;
+          Alcotest.test_case "qaoa graph" `Quick test_qaoa_entry_graph_matches_circuit;
+        ] );
+    ]

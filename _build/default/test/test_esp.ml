@@ -1,0 +1,93 @@
+(* Unit tests for the estimated-success-probability fidelity metric and
+   the fidelity-tuned pipeline strategy. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+module B = Quantum.Circuit.Builder
+
+let mumbai = Hardware.Device.mumbai
+let ideal = Hardware.Device.ideal Hardware.Topology.falcon_27
+
+let test_empty_circuit_is_one () =
+  let c = Quantum.Circuit.empty ~num_qubits:27 ~num_clbits:0 in
+  check (Alcotest.float 1e-12) "empty" 1. (Transpiler.Esp.of_circuit mumbai c)
+
+let test_ideal_device_is_one () =
+  let b = B.create ~num_qubits:27 ~num_clbits:2 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 0 0;
+  let c = B.build b in
+  check (Alcotest.float 1e-12) "ideal" 1. (Transpiler.Esp.of_circuit ideal c)
+
+let test_esp_in_unit_interval () =
+  let c = (Transpiler.Transpile.run mumbai (Benchmarks.Bv.circuit 8)).Transpiler.Transpile.physical in
+  let e = Transpiler.Esp.of_circuit mumbai c in
+  check bool "in (0,1)" true (e > 0. && e < 1.)
+
+let test_more_gates_lower_esp () =
+  let small = B.create ~num_qubits:27 ~num_clbits:0 in
+  B.cx small 0 1;
+  let big = B.create ~num_qubits:27 ~num_clbits:0 in
+  for _ = 1 to 10 do
+    B.cx big 0 1
+  done;
+  check bool "monotone in gates" true
+    (Transpiler.Esp.of_circuit mumbai (B.build big)
+    < Transpiler.Esp.of_circuit mumbai (B.build small))
+
+let test_factors_multiply () =
+  let c = (Transpiler.Transpile.run mumbai (Benchmarks.Bv.circuit 6)).Transpiler.Transpile.physical in
+  check (Alcotest.float 1e-9) "product"
+    (Transpiler.Esp.gate_factor mumbai c *. Transpiler.Esp.decoherence_factor mumbai c)
+    (Transpiler.Esp.of_circuit mumbai c)
+
+let test_sr_beats_baseline_on_bv () =
+  (* The paper's fidelity claim, analytically: fewer qubits + no swaps +
+     shorter exposure => higher ESP. *)
+  let c = Benchmarks.Bv.circuit 10 in
+  let base = (Transpiler.Transpile.run mumbai c).Transpiler.Transpile.physical in
+  let sr = (Caqr.Sr_caqr.regular mumbai c).Caqr.Sr_caqr.physical in
+  check bool "sr wins" true
+    (Transpiler.Esp.of_circuit mumbai sr > Transpiler.Esp.of_circuit mumbai base)
+
+let test_esp_predicts_noisy_success () =
+  (* ESP ordering should match measured success-rate ordering. *)
+  let c = Benchmarks.Bv.circuit 8 in
+  let base = (Transpiler.Transpile.run mumbai c).Transpiler.Transpile.physical in
+  let sr = (Caqr.Sr_caqr.regular mumbai c).Caqr.Sr_caqr.physical in
+  let secret = Benchmarks.Bv.expected_output 8 in
+  let succ p seed =
+    Sim.Counts.success_rate (Sim.Noise.run ~device:mumbai ~seed ~shots:400 p) secret
+  in
+  let esp_order = Transpiler.Esp.of_circuit mumbai sr > Transpiler.Esp.of_circuit mumbai base in
+  let succ_order = succ sr 2 > succ base 1 in
+  check bool "orders agree" true (esp_order = succ_order)
+
+let test_pipeline_best_fidelity_strategy () =
+  let input = Caqr.Pipeline.Regular (Benchmarks.Bv.circuit 8) in
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Qs_best_fidelity input in
+  let base = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Baseline input in
+  check bool "fidelity version at least as good" true
+    (Transpiler.Esp.of_circuit mumbai r.Caqr.Pipeline.physical
+    >= Transpiler.Esp.of_circuit mumbai base.Caqr.Pipeline.physical);
+  (* And it still computes the right answer. *)
+  let d = Sim.Executor.run ~seed:5 ~shots:32 r.Caqr.Pipeline.physical in
+  check Alcotest.int "secret" 32 (Sim.Counts.get d (Benchmarks.Bv.expected_output 8))
+
+let () =
+  Alcotest.run "esp"
+    [
+      ( "esp",
+        [
+          Alcotest.test_case "empty = 1" `Quick test_empty_circuit_is_one;
+          Alcotest.test_case "ideal = 1" `Quick test_ideal_device_is_one;
+          Alcotest.test_case "unit interval" `Quick test_esp_in_unit_interval;
+          Alcotest.test_case "monotone in gates" `Quick test_more_gates_lower_esp;
+          Alcotest.test_case "factors multiply" `Quick test_factors_multiply;
+          Alcotest.test_case "sr beats baseline" `Quick test_sr_beats_baseline_on_bv;
+          Alcotest.test_case "predicts noisy success" `Slow test_esp_predicts_noisy_success;
+          Alcotest.test_case "pipeline strategy" `Quick test_pipeline_best_fidelity_strategy;
+        ] );
+    ]

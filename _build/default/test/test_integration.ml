@@ -1,0 +1,141 @@
+(* Cross-module integration tests: the full paper pipeline — benchmark ->
+   reuse transform -> hardware mapping -> (noisy) simulation -> metrics. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mumbai = Hardware.Device.mumbai
+
+let test_fig1_walkthrough () =
+  (* Fig. 1: BV-5 goes 5 -> 4 -> 2 qubits with reuse; every version
+     computes the same secret. *)
+  let original = Benchmarks.Bv.circuit 5 in
+  let one_reuse =
+    match Caqr.Qs_caqr.reduce_once original with
+    | Some (_, c) -> c
+    | None -> Alcotest.fail "no reuse"
+  in
+  let minimal = Caqr.Qs_caqr.max_reuse original in
+  check int "fig 1a" 5 (Caqr.Reuse.qubit_usage original);
+  check int "fig 1b" 4 (Caqr.Reuse.qubit_usage one_reuse);
+  check int "fig 1c" 2 (Caqr.Reuse.qubit_usage minimal);
+  let secret = Benchmarks.Bv.expected_output 5 in
+  List.iter
+    (fun c ->
+      let d = Sim.Executor.run ~seed:1 ~shots:32 c in
+      check int "secret" 32 (Sim.Counts.get d secret))
+    [ original; one_reuse; minimal ]
+
+let test_fig2_duration_claim () =
+  (* Measure + conditional X is about half the built-in measure+reset. *)
+  let m = Quantum.Duration.default in
+  let builtin = Quantum.Duration.measure_reset_builtin m in
+  let ours = Quantum.Duration.measure_cond_x m in
+  check bool "~50% saving" true
+    (float_of_int ours /. float_of_int builtin < 0.55)
+
+let test_fig4_swap_elimination () =
+  (* Fig. 4/5: 5-qubit BV cannot fit the T-shaped 5-qubit device without
+     SWAPs (star degree 4 > max degree 3), but the 4-qubit reused version
+     fits with zero SWAPs. *)
+  let device = Hardware.Device.ideal Hardware.Topology.t_shape_5 in
+  let bv5 = Benchmarks.Bv.circuit 5 in
+  let base = Transpiler.Transpile.run device bv5 in
+  check bool "baseline needs swaps" true
+    (base.Transpiler.Transpile.stats.Transpiler.Transpile.swaps > 0);
+  let sr = Caqr.Sr_caqr.regular device bv5 in
+  check int "sr eliminates swaps" 0 sr.Caqr.Sr_caqr.swaps_added
+
+let test_table1_shape_bv10 () =
+  (* Table 1 BV_10 row shape: baseline ~10 swaps, reuse versions far
+     fewer; maximal reuse = 2 qubits. *)
+  let input = Caqr.Pipeline.Regular (Benchmarks.Bv.circuit 10) in
+  let base = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Baseline input in
+  let maxr = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Qs_max_reuse input in
+  let sbase = base.Caqr.Pipeline.stats and smax = maxr.Caqr.Pipeline.stats in
+  check bool "baseline swaps heavy" true (sbase.Transpiler.Transpile.swaps >= 5);
+  check int "max reuse 2 qubits" 2 smax.Transpiler.Transpile.qubits_used;
+  check bool "max reuse fewer swaps" true
+    (smax.Transpiler.Transpile.swaps < sbase.Transpiler.Transpile.swaps)
+
+let test_table3_shape_tvd_improves () =
+  (* Reuse (fewer qubits, fewer swaps) must not hurt TVD on the noisy
+     device — the Table 3 direction. *)
+  let c = Benchmarks.Bv.circuit 8 in
+  let base = Transpiler.Transpile.run mumbai c in
+  let sr = Caqr.Sr_caqr.regular mumbai c in
+  let tvd p seed = Sim.Noise.tvd_vs_ideal ~device:mumbai ~seed ~shots:300 p in
+  let t_base = tvd base.Transpiler.Transpile.physical 11 in
+  let t_sr = tvd sr.Caqr.Sr_caqr.physical 12 in
+  check bool
+    (Printf.sprintf "sr %.3f <= base %.3f + margin" t_sr t_base)
+    true
+    (t_sr <= t_base +. 0.05)
+
+let test_qaoa_reuse_end_to_end () =
+  (* Commutable path: graph -> plan -> emitted circuit -> SR mapping ->
+     noisy energy. Reused version must find comparable or better energy. *)
+  let g = Galg.Gen.random ~seed:77 8 ~density:0.3 in
+  let problem = { Qaoa.Maxcut.graph = g; name = "it" } in
+  let plain = Caqr.Commute.emit (Caqr.Commute.make g) in
+  let base = Transpiler.Transpile.run mumbai plain in
+  let sr = Caqr.Sr_caqr.commutable mumbai g in
+  let energy c seed =
+    Qaoa.Maxcut.neg_expected_cut problem
+      (Sim.Noise.run ~device:mumbai ~seed ~shots:1500 c)
+  in
+  let e_base = energy base.Transpiler.Transpile.physical 21 in
+  let e_sr = energy sr.Caqr.Sr_caqr.physical 22 in
+  check bool
+    (Printf.sprintf "sr energy %.3f <= base %.3f + margin" e_sr e_base)
+    true (e_sr <= e_base +. 0.4)
+
+let test_qasm_roundtrip_artifacts () =
+  (* Export of a transformed dynamic circuit mentions the conditional
+     reset — the artifact a user would ship to hardware. *)
+  let c = Caqr.Qs_caqr.max_reuse (Benchmarks.Bv.circuit 5) in
+  let s = Quantum.Qasm.to_string c in
+  let has needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "conditional x" true (has "if (c[");
+  check bool "measure" true (has "= measure")
+
+let test_duration_accounting_consistency () =
+  (* Transpile's duration equals the schedule of its own physical circuit. *)
+  let r = Transpiler.Transpile.run mumbai (Benchmarks.Bv.circuit 8) in
+  check int "duration consistent"
+    (Transpiler.Transpile.physical_duration mumbai r.Transpiler.Transpile.physical)
+    r.Transpiler.Transpile.stats.Transpiler.Transpile.duration_dt
+
+let test_wide_qaoa_compiles_on_big_lattice () =
+  (* QAOA-32 exceeds Mumbai: the scaled heavy-hex device absorbs it. *)
+  let g = Galg.Gen.random ~seed:30 32 ~density:0.3 in
+  let device = Hardware.Device.heavy_hex_for 32 in
+  let plain = Caqr.Commute.emit (Caqr.Commute.make g) in
+  let r = Transpiler.Transpile.run device plain in
+  check bool "fits" true
+    (r.Transpiler.Transpile.stats.Transpiler.Transpile.qubits_used >= 32)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper-figures",
+        [
+          Alcotest.test_case "fig1 BV walkthrough" `Quick test_fig1_walkthrough;
+          Alcotest.test_case "fig2 duration" `Quick test_fig2_duration_claim;
+          Alcotest.test_case "fig4/5 swap elimination" `Quick test_fig4_swap_elimination;
+          Alcotest.test_case "table1 BV row shape" `Quick test_table1_shape_bv10;
+          Alcotest.test_case "table3 TVD direction" `Slow test_table3_shape_tvd_improves;
+          Alcotest.test_case "qaoa end to end" `Slow test_qaoa_reuse_end_to_end;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "qasm artifacts" `Quick test_qasm_roundtrip_artifacts;
+          Alcotest.test_case "duration accounting" `Quick test_duration_accounting_consistency;
+          Alcotest.test_case "wide qaoa" `Quick test_wide_qaoa_compiles_on_big_lattice;
+        ] );
+    ]

@@ -1,0 +1,83 @@
+(* Tests for the noise-scale knob and assorted calibration/device gaps. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mumbai = Hardware.Device.mumbai
+
+let test_scale_zero_is_ideal () =
+  let d = Hardware.Device.with_noise_scale 0. mumbai in
+  check (Alcotest.float 0.) "no cx error" 0. (Hardware.Device.cx_error d 0 1);
+  check (Alcotest.float 0.) "no readout error" 0. (Hardware.Device.readout_error d 0);
+  let cal = Hardware.Calibration.qubit d.Hardware.Device.calibration 0 in
+  check bool "infinite t1" true (cal.Hardware.Calibration.t1_dt = infinity)
+
+let test_scale_one_is_identity () =
+  let d = Hardware.Device.with_noise_scale 1. mumbai in
+  check (Alcotest.float 1e-12) "cx error unchanged"
+    (Hardware.Device.cx_error mumbai 0 1)
+    (Hardware.Device.cx_error d 0 1)
+
+let test_scale_doubles () =
+  let d = Hardware.Device.with_noise_scale 2. mumbai in
+  check (Alcotest.float 1e-12) "cx error doubled"
+    (2. *. Hardware.Device.cx_error mumbai 0 1)
+    (Hardware.Device.cx_error d 0 1);
+  let cal = Hardware.Calibration.qubit d.Hardware.Device.calibration 3 in
+  let cal0 = Hardware.Calibration.qubit mumbai.Hardware.Device.calibration 3 in
+  check (Alcotest.float 1e-6) "t1 halved"
+    (cal0.Hardware.Calibration.t1_dt /. 2.)
+    cal.Hardware.Calibration.t1_dt
+
+let test_scale_clamps () =
+  let d = Hardware.Device.with_noise_scale 1000. mumbai in
+  check bool "clamped" true (Hardware.Device.cx_error d 0 1 <= 0.5)
+
+let test_scale_negative_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Calibration.scale: negative factor") (fun () ->
+      ignore (Hardware.Device.with_noise_scale (-1.) mumbai))
+
+let test_scale_preserves_topology_and_duration () =
+  let d = Hardware.Device.with_noise_scale 3. mumbai in
+  check int "same qubits" (Hardware.Device.num_qubits mumbai) (Hardware.Device.num_qubits d);
+  check bool "same adjacency" true (Hardware.Device.adjacent d 0 1);
+  check int "same duration" (Hardware.Device.cx_duration mumbai 0 1)
+    (Hardware.Device.cx_duration d 0 1)
+
+let test_more_noise_more_tvd () =
+  let c = (Transpiler.Transpile.run mumbai (Benchmarks.Bv.circuit 6)).Transpiler.Transpile.physical in
+  let tvd factor =
+    Sim.Noise.tvd_vs_ideal
+      ~device:(Hardware.Device.with_noise_scale factor mumbai)
+      ~seed:3 ~shots:400 c
+  in
+  let quiet = tvd 0.25 and loud = tvd 4. in
+  check bool
+    (Printf.sprintf "monotone-ish: %.3f < %.3f" quiet loud)
+    true (quiet < loud)
+
+let test_esp_tracks_noise_scale () =
+  let c = (Transpiler.Transpile.run mumbai (Benchmarks.Bv.circuit 6)).Transpiler.Transpile.physical in
+  let esp f = Transpiler.Esp.of_circuit (Hardware.Device.with_noise_scale f mumbai) c in
+  check bool "esp falls with noise" true (esp 0.5 > esp 2.)
+
+let () =
+  Alcotest.run "noise_scale"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "zero = ideal" `Quick test_scale_zero_is_ideal;
+          Alcotest.test_case "one = identity" `Quick test_scale_one_is_identity;
+          Alcotest.test_case "doubles" `Quick test_scale_doubles;
+          Alcotest.test_case "clamps" `Quick test_scale_clamps;
+          Alcotest.test_case "negative rejected" `Quick test_scale_negative_rejected;
+          Alcotest.test_case "topology preserved" `Quick test_scale_preserves_topology_and_duration;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "tvd monotone" `Slow test_more_noise_more_tvd;
+          Alcotest.test_case "esp monotone" `Quick test_esp_tracks_noise_scale;
+        ] );
+    ]

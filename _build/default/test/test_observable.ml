@@ -1,0 +1,131 @@
+(* Unit tests for Pauli-string observables and expectation estimation. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let float2 = Alcotest.float 0.05
+let floatx = Alcotest.float 1e-9
+
+module B = Quantum.Circuit.Builder
+module O = Sim.Observable
+
+let prepare f n =
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  f b;
+  B.build b
+
+let test_ising_terms () =
+  let h = O.ising_chain ~n:4 ~j:1. ~g:0.5 in
+  check int "3 ZZ + 4 X" 7 (List.length h)
+
+let test_grouping_z_terms_share () =
+  let h = [ O.zz 0 1; O.zz 1 2; O.z_ 3 ] in
+  check int "single Z basis" 1 (List.length (O.measurement_bases h))
+
+let test_grouping_x_separate () =
+  let h = [ O.zz 0 1; O.x_ 0 ] in
+  (* Z on qubit 0 vs X on qubit 0: incompatible. *)
+  check int "two bases" 2 (List.length (O.measurement_bases h))
+
+let test_grouping_disjoint_mixed () =
+  let h = [ O.zz 0 1; O.x_ 2 ] in
+  check int "shareable" 1 (List.length (O.measurement_bases h))
+
+let test_ground_state_z () =
+  (* |00>: <Z0 Z1> = 1, <Z0> = 1. *)
+  let p = prepare (fun _ -> ()) 2 in
+  check floatx "zz" 1. (O.expectation_exact ~prepare:p [ O.zz 0 1 ]);
+  check floatx "z" 1. (O.expectation_exact ~prepare:p [ O.z_ 0 ])
+
+let test_excited_state_z () =
+  let p = prepare (fun b -> B.x b 0) 2 in
+  check floatx "zz flips" (-1.) (O.expectation_exact ~prepare:p [ O.zz 0 1 ])
+
+let test_plus_state_x () =
+  let p = prepare (fun b -> B.h b 0) 1 in
+  check floatx "<+|X|+> = 1" 1. (O.expectation_exact ~prepare:p [ O.x_ 0 ]);
+  check floatx "<+|Z|+> = 0" 0. (O.expectation_exact ~prepare:p [ O.z_ 0 ])
+
+let test_y_basis () =
+  (* |i> = S H |0> has <Y> = 1. *)
+  let p =
+    prepare
+      (fun b ->
+        B.h b 0;
+        B.add b (Quantum.Gate.One_q (Quantum.Gate.S, 0)))
+      1
+  in
+  check floatx "<Y>" 1.
+    (O.expectation_exact ~prepare:p [ { O.coeff = 1.; paulis = [ (0, O.Y) ] } ])
+
+let test_bell_correlations () =
+  let p =
+    prepare
+      (fun b ->
+        B.h b 0;
+        B.cx b 0 1)
+      2
+  in
+  check floatx "<ZZ> = 1" 1. (O.expectation_exact ~prepare:p [ O.zz 0 1 ]);
+  check floatx "<XX> = 1" 1.
+    (O.expectation_exact ~prepare:p
+       [ { O.coeff = 1.; paulis = [ (0, O.X); (1, O.X) ] } ]);
+  check floatx "<Z0> = 0" 0. (O.expectation_exact ~prepare:p [ O.z_ 0 ])
+
+let test_coefficients_linear () =
+  let p = prepare (fun _ -> ()) 2 in
+  check floatx "weighted sum" (-2.5)
+    (O.expectation_exact ~prepare:p [ O.zz ~coeff:(-3.) 0 1; O.z_ ~coeff:0.5 0 ])
+
+let test_sampled_matches_exact () =
+  let p =
+    prepare
+      (fun b ->
+        B.h b 0;
+        B.cx b 0 1;
+        B.rx b 0.7 1)
+      2
+  in
+  let h = O.ising_chain ~n:2 ~j:1. ~g:0.6 in
+  let exact = O.expectation_exact ~prepare:p h in
+  let sampled = O.expectation ~seed:5 ~shots:20000 ~prepare:p h in
+  check float2 "sampling converges" exact sampled
+
+let test_exact_rejects_dynamic () =
+  let b = B.create ~num_qubits:1 ~num_clbits:1 in
+  B.measure b 0 0;
+  Alcotest.check_raises "dynamic rejected"
+    (Invalid_argument "Observable.expectation_exact: dynamic preparation")
+    (fun () -> ignore (O.expectation_exact ~prepare:(B.build b) [ O.z_ 0 ]))
+
+let test_ising_ground_bound () =
+  (* Variational states can't beat the exact ground energy; a crude scan
+     should stay above it while the product state hits exactly -J(n-1). *)
+  let n = 3 in
+  let h = O.ising_chain ~n ~j:1. ~g:0. in
+  let product = prepare (fun _ -> ()) n in
+  check floatx "product state saturates g=0 bound" (-2.)
+    (O.expectation_exact ~prepare:product h)
+
+let () =
+  Alcotest.run "observable"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "ising terms" `Quick test_ising_terms;
+          Alcotest.test_case "z grouping" `Quick test_grouping_z_terms_share;
+          Alcotest.test_case "x separate" `Quick test_grouping_x_separate;
+          Alcotest.test_case "disjoint mixed" `Quick test_grouping_disjoint_mixed;
+        ] );
+      ( "expectation",
+        [
+          Alcotest.test_case "ground z" `Quick test_ground_state_z;
+          Alcotest.test_case "excited z" `Quick test_excited_state_z;
+          Alcotest.test_case "plus x" `Quick test_plus_state_x;
+          Alcotest.test_case "y basis" `Quick test_y_basis;
+          Alcotest.test_case "bell" `Quick test_bell_correlations;
+          Alcotest.test_case "linear" `Quick test_coefficients_linear;
+          Alcotest.test_case "sampled = exact" `Slow test_sampled_matches_exact;
+          Alcotest.test_case "dynamic rejected" `Quick test_exact_rejects_dynamic;
+          Alcotest.test_case "ising bound" `Quick test_ising_ground_bound;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Unit tests for the user-facing pipeline and applicability detector. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mumbai = Hardware.Device.mumbai
+let bv input_n = Caqr.Pipeline.Regular (Benchmarks.Bv.circuit input_n)
+
+let test_baseline_no_reuse () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Baseline (bv 6) in
+  check int "no pairs" 0 r.Caqr.Pipeline.reuse_pairs;
+  check int "full usage" 6 r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used
+
+let test_max_reuse_minimizes () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Qs_max_reuse (bv 6) in
+  check int "2 qubits" 2 r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used;
+  check bool "pairs recorded" true (r.Caqr.Pipeline.reuse_pairs > 0)
+
+let test_min_depth_between () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Qs_min_depth (bv 8) in
+  let u = r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used in
+  check bool "between min and max" true (u >= 2 && u <= 8)
+
+let test_min_depth_no_worse_than_extremes () =
+  let depth s =
+    (Caqr.Pipeline.compile mumbai s (bv 8)).Caqr.Pipeline.stats
+      .Transpiler.Transpile.depth
+  in
+  let dm = depth Caqr.Pipeline.Qs_min_depth in
+  check bool "beats max reuse" true (dm <= depth Caqr.Pipeline.Qs_max_reuse);
+  check bool "beats baseline" true (dm <= depth Caqr.Pipeline.Baseline)
+
+let test_target_reachable () =
+  let r = Caqr.Pipeline.compile mumbai (Caqr.Pipeline.Qs_target 4) (bv 8) in
+  check bool "at most 4" true
+    (r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used <= 4)
+
+let test_target_unreachable () =
+  Alcotest.check_raises "cannot reach 1"
+    (Failure "Pipeline.compile: cannot reach 1 qubits") (fun () ->
+      ignore (Caqr.Pipeline.compile mumbai (Caqr.Pipeline.Qs_target 1) (bv 5)))
+
+let test_sr_strategy () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Sr (bv 10) in
+  check int "no swaps" 0 r.Caqr.Pipeline.stats.Transpiler.Transpile.swaps;
+  check int "2 qubits" 2 r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used
+
+let test_commutable_input () =
+  let g = Galg.Gen.random ~seed:8 8 ~density:0.3 in
+  let input = Caqr.Pipeline.Commutable g in
+  let base = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Baseline input in
+  let maxr = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Qs_max_reuse input in
+  check bool "reuse saves qubits" true
+    (maxr.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used
+    < base.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used)
+
+let test_beneficial_positive () =
+  let yes, why = Caqr.Pipeline.beneficial mumbai (bv 6) in
+  check bool "bv benefits" true yes;
+  check bool "explanation" true (String.length why > 0)
+
+let test_beneficial_negative () =
+  (* Complete 3-qubit interaction: no reuse. *)
+  let b = Quantum.Circuit.Builder.create ~num_qubits:3 ~num_clbits:0 in
+  Quantum.Circuit.Builder.cx b 0 1;
+  Quantum.Circuit.Builder.cx b 1 2;
+  Quantum.Circuit.Builder.cx b 0 2;
+  let yes, _ =
+    Caqr.Pipeline.beneficial mumbai
+      (Caqr.Pipeline.Regular (Quantum.Circuit.Builder.build b))
+  in
+  check bool "no benefit" false yes
+
+let test_beneficial_commutable () =
+  let g = Galg.Gen.random ~seed:9 10 ~density:0.3 in
+  let yes, _ = Caqr.Pipeline.beneficial mumbai (Caqr.Pipeline.Commutable g) in
+  check bool "qaoa benefits" true yes
+
+let test_strategy_names () =
+  check bool "names distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map Caqr.Pipeline.strategy_name
+             [
+               Caqr.Pipeline.Baseline;
+               Caqr.Pipeline.Qs_max_reuse;
+               Caqr.Pipeline.Qs_min_depth;
+               Caqr.Pipeline.Qs_target 3;
+               Caqr.Pipeline.Sr;
+             ]))
+    = 5)
+
+let test_physical_semantics_end_to_end () =
+  (* Whatever the strategy, the physical circuit must compute BV's secret. *)
+  List.iter
+    (fun s ->
+      let r = Caqr.Pipeline.compile mumbai s (bv 6) in
+      let d = Sim.Executor.run ~seed:7 ~shots:32 r.Caqr.Pipeline.physical in
+      check int
+        (Caqr.Pipeline.strategy_name s ^ " secret")
+        32
+        (Sim.Counts.get d (Benchmarks.Bv.expected_output 6)))
+    [
+      Caqr.Pipeline.Baseline;
+      Caqr.Pipeline.Qs_max_reuse;
+      Caqr.Pipeline.Qs_min_depth;
+      Caqr.Pipeline.Sr;
+    ]
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "baseline" `Quick test_baseline_no_reuse;
+          Alcotest.test_case "max reuse" `Quick test_max_reuse_minimizes;
+          Alcotest.test_case "min depth range" `Quick test_min_depth_between;
+          Alcotest.test_case "min depth optimal" `Quick test_min_depth_no_worse_than_extremes;
+          Alcotest.test_case "target reachable" `Quick test_target_reachable;
+          Alcotest.test_case "target unreachable" `Quick test_target_unreachable;
+          Alcotest.test_case "sr" `Quick test_sr_strategy;
+          Alcotest.test_case "commutable" `Quick test_commutable_input;
+          Alcotest.test_case "names" `Quick test_strategy_names;
+        ] );
+      ( "applicability",
+        [
+          Alcotest.test_case "positive" `Quick test_beneficial_positive;
+          Alcotest.test_case "negative" `Quick test_beneficial_negative;
+          Alcotest.test_case "commutable" `Quick test_beneficial_commutable;
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "end to end" `Slow test_physical_semantics_end_to_end ] );
+    ]

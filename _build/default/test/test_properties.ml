@@ -1,0 +1,456 @@
+(* Property-based tests (qcheck) for the core invariants. *)
+
+(* Pin the generator seed: property tests must be reproducible in CI. *)
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xca9 |]) t
+
+(* ---- Generators ---- *)
+
+(* A random undirected graph as (n, edges). *)
+let graph_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 24) (fun n ->
+        let pair = map2 (fun a b -> (a mod n, b mod n)) (int_bound 1000) (int_bound 1000) in
+        map
+          (fun es -> (n, List.filter (fun (a, b) -> a <> b) es))
+          (list_size (int_range 0 (2 * n)) pair)))
+
+let arb_graph =
+  QCheck.make graph_gen ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es)))
+
+let build_graph (n, es) = Galg.Graph.of_edges n es
+
+(* A random shallow circuit on [n] qubits: H / CX / RZ / measure-free. *)
+let circuit_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 6) (fun n ->
+        let gate =
+          frequency
+            [
+              (3, map (fun q -> `H (q mod n)) (int_bound 100));
+              ( 5,
+                map2
+                  (fun a b ->
+                    let a = a mod n and b = b mod n in
+                    if a = b then `H a else `Cx (a, b))
+                  (int_bound 100) (int_bound 100) );
+              (2, map (fun q -> `Rz (q mod n)) (int_bound 100));
+            ]
+        in
+        map (fun gs -> (n, gs)) (list_size (int_range 1 25) gate)))
+
+let arb_circuit =
+  QCheck.make circuit_gen ~print:(fun (n, gs) ->
+      Printf.sprintf "n=%d gates=%d" n (List.length gs))
+
+let build_circuit (n, gs) =
+  let b = Quantum.Circuit.Builder.create ~num_qubits:n ~num_clbits:n in
+  List.iter
+    (function
+      | `H q -> Quantum.Circuit.Builder.h b q
+      | `Cx (a, c) -> Quantum.Circuit.Builder.cx b a c
+      | `Rz q -> Quantum.Circuit.Builder.rz b 0.3 q)
+    gs;
+  Quantum.Circuit.Builder.build b
+
+(* The same circuit with trailing measurement of every active qubit. *)
+let build_measured spec =
+  Quantum.Circuit.measure_all (build_circuit spec)
+
+(* ---- Graph properties ---- *)
+
+let prop_size_consistent =
+  QCheck.Test.make ~name:"graph: size = |edges|" ~count:100 arb_graph (fun spec ->
+      let g = build_graph spec in
+      Galg.Graph.size g = List.length (Galg.Graph.edges g))
+
+let prop_degree_sum =
+  QCheck.Test.make ~name:"graph: sum deg = 2m" ~count:100 arb_graph (fun spec ->
+      let g = build_graph spec in
+      let sum =
+        Galg.Graph.fold_vertices (fun v acc -> acc + Galg.Graph.degree g v) g 0
+      in
+      sum = 2 * Galg.Graph.size g)
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"graph: bfs satisfies edge relaxation" ~count:50 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let n = Galg.Graph.order g in
+      if n = 0 then true
+      else begin
+        let d = Galg.Graph.bfs_dist g 0 in
+        List.for_all
+          (fun (u, v) ->
+            (d.(u) = max_int && d.(v) = max_int)
+            || abs (d.(u) - d.(v)) <= 1)
+          (Galg.Graph.edges g)
+      end)
+
+(* ---- Coloring properties ---- *)
+
+let prop_coloring_proper =
+  QCheck.Test.make ~name:"coloring: dsatur is proper" ~count:100 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      Galg.Coloring.is_proper g (Galg.Coloring.dsatur g))
+
+let prop_coloring_bound =
+  QCheck.Test.make ~name:"coloring: count <= maxdeg + 1" ~count:100 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      (Galg.Coloring.best g).Galg.Coloring.count <= Galg.Graph.max_degree g + 1)
+
+(* ---- Matching properties ---- *)
+
+let prop_blossom_valid =
+  QCheck.Test.make ~name:"matching: blossom valid + maximal" ~count:100 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let m = Galg.Matching.blossom g in
+      Galg.Matching.is_valid g m && Galg.Matching.is_maximal g m)
+
+let prop_blossom_geq_greedy =
+  QCheck.Test.make ~name:"matching: blossom >= greedy" ~count:100 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let b = Galg.Matching.blossom g in
+      let gr = Galg.Matching.greedy ~weight:(fun _ _ -> 1.) g in
+      Galg.Matching.cardinality b >= Galg.Matching.cardinality gr)
+
+let prop_priority_valid =
+  QCheck.Test.make ~name:"matching: priority matching valid" ~count:100 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let m = Galg.Matching.priority_matching ~priority:(fun u v -> (u + v) mod 2 = 0) g in
+      Galg.Matching.is_valid g m)
+
+(* ---- Circuit / DAG properties ---- *)
+
+let prop_depth_bounds =
+  QCheck.Test.make ~name:"circuit: depth <= gates, >= gates/qubits" ~count:100
+    arb_circuit (fun spec ->
+      let c = build_circuit spec in
+      let d = Quantum.Circuit.depth c in
+      d <= Quantum.Circuit.gate_count c
+      && d * c.Quantum.Circuit.num_qubits >= Quantum.Circuit.gate_count c)
+
+let prop_dag_edges_forward =
+  QCheck.Test.make ~name:"dag: edges go forward in gate order" ~count:100
+    arb_circuit (fun spec ->
+      let dag = Quantum.Dag.build (build_circuit spec) in
+      List.for_all
+        (fun i -> List.for_all (fun j -> j > i) (Quantum.Dag.succs dag i))
+        (Quantum.Dag.topo_order dag))
+
+let prop_reachability_matches_dfs =
+  QCheck.Test.make ~name:"reachability: bitset closure = DFS" ~count:60 arb_circuit
+    (fun spec ->
+      let dag = Quantum.Dag.build (build_circuit spec) in
+      let r = Quantum.Reachability.build dag in
+      let n = Quantum.Dag.num_nodes dag in
+      let dfs_reach i =
+        let seen = Array.make n false in
+        let rec go j =
+          if not seen.(j) then begin
+            seen.(j) <- true;
+            List.iter go (Quantum.Dag.succs dag j)
+          end
+        in
+        go i;
+        seen
+      in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let seen = dfs_reach i in
+        for j = 0 to n - 1 do
+          if Quantum.Reachability.reaches r i j <> seen.(j) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_compact_preserves_gates =
+  QCheck.Test.make ~name:"circuit: compaction keeps gate count" ~count:100
+    arb_circuit (fun spec ->
+      let c = build_circuit spec in
+      let c', _ = Quantum.Circuit.compact_qubits c in
+      Quantum.Circuit.gate_count c' = Quantum.Circuit.gate_count c)
+
+(* ---- Simulator properties ---- *)
+
+let prop_norm_preserved =
+  QCheck.Test.make ~name:"sim: unitary gates preserve norm" ~count:60 arb_circuit
+    (fun spec ->
+      let c = build_circuit spec in
+      let st = Sim.State.init c.Quantum.Circuit.num_qubits in
+      Array.iter
+        (fun g ->
+          match g.Quantum.Gate.kind with
+          | Quantum.Gate.One_q (gq, q) -> Sim.State.apply_one_q st gq q
+          | Quantum.Gate.Cx (a, b) -> Sim.State.apply_cx st a b
+          | _ -> ())
+        c.Quantum.Circuit.gates;
+      Float.abs (Sim.State.norm2 st -. 1.) < 1e-9)
+
+let prop_probabilities_sum =
+  QCheck.Test.make ~name:"sim: probabilities sum to 1" ~count:40 arb_circuit
+    (fun spec ->
+      let c = build_circuit spec in
+      let st = Sim.State.init c.Quantum.Circuit.num_qubits in
+      Array.iter
+        (fun g ->
+          match g.Quantum.Gate.kind with
+          | Quantum.Gate.One_q (gq, q) -> Sim.State.apply_one_q st gq q
+          | Quantum.Gate.Cx (a, b) -> Sim.State.apply_cx st a b
+          | _ -> ())
+        c.Quantum.Circuit.gates;
+      let s = Array.fold_left ( +. ) 0. (Sim.State.probabilities st) in
+      Float.abs (s -. 1.) < 1e-9)
+
+let prop_tvd_range =
+  QCheck.Test.make ~name:"counts: tvd in [0,1] and symmetric" ~count:50
+    QCheck.(pair (list (int_bound 7)) (list (int_bound 7)))
+    (fun (xs, ys) ->
+      let mk l =
+        let c = Sim.Counts.create ~num_clbits:3 in
+        List.iter (Sim.Counts.add c) l;
+        c
+      in
+      let a = mk xs and b = mk ys in
+      let t = Sim.Counts.tvd a b in
+      t >= 0. && t <= 1. && Float.abs (t -. Sim.Counts.tvd b a) < 1e-12)
+
+(* ---- Reuse properties ---- *)
+
+let prop_predict_depth_exact =
+  QCheck.Test.make ~name:"reuse: predicted depth = actual" ~count:60 arb_circuit
+    (fun spec ->
+      let c = build_measured spec in
+      let a = Caqr.Reuse.analyze c in
+      List.for_all
+        (fun p ->
+          Caqr.Reuse.predict_depth a p
+          = Quantum.Circuit.depth (Caqr.Reuse.apply c p))
+        (Caqr.Reuse.valid_pairs a))
+
+let prop_apply_drops_usage =
+  QCheck.Test.make ~name:"reuse: apply drops usage by one" ~count:60 arb_circuit
+    (fun spec ->
+      let c = build_measured spec in
+      let a = Caqr.Reuse.analyze c in
+      match Caqr.Reuse.valid_pairs a with
+      | [] -> true
+      | p :: _ ->
+        Caqr.Reuse.qubit_usage (Caqr.Reuse.apply c p)
+        = Caqr.Reuse.qubit_usage c - 1)
+
+let prop_apply_preserves_distribution =
+  QCheck.Test.make ~name:"reuse: apply preserves output distribution" ~count:12
+    arb_circuit (fun spec ->
+      let c = build_measured spec in
+      let a = Caqr.Reuse.analyze c in
+      match Caqr.Reuse.valid_pairs a with
+      | [] -> true
+      | p :: _ ->
+        let c' = Caqr.Reuse.apply c p in
+        let d0 = Sim.Executor.run ~seed:5 ~shots:1500 c in
+        let d1 = Sim.Executor.run ~seed:6 ~shots:1500 c' in
+        (* statistical tolerance for 1500-shot histograms on <= 6 bits *)
+        Sim.Counts.tvd d0 d1 < 0.12)
+
+let prop_sweep_usage_decreases =
+  QCheck.Test.make ~name:"qs: sweep strictly decreases usage" ~count:30 arb_circuit
+    (fun spec ->
+      let c = build_measured spec in
+      let steps = Caqr.Qs_caqr.sweep c in
+      let rec ok = function
+        | a :: (b :: _ as r) ->
+          a.Caqr.Qs_caqr.usage > b.Caqr.Qs_caqr.usage && ok r
+        | _ -> true
+      in
+      ok steps)
+
+(* ---- Commute properties ---- *)
+
+let prop_commute_chains_independent =
+  QCheck.Test.make ~name:"commute: sweep chains are independent sets" ~count:40
+    arb_graph (fun spec ->
+      let g = build_graph spec in
+      let steps = Caqr.Commute.sweep ~mode:`Heuristic g in
+      List.for_all
+        (fun (s : Caqr.Commute.step) ->
+          let plan = s.Caqr.Commute.plan in
+          List.for_all
+            (fun head ->
+              let members = Caqr.Commute.chain plan head in
+              List.for_all
+                (fun a ->
+                  List.for_all
+                    (fun b -> a = b || not (Galg.Graph.has_edge g a b))
+                    members)
+                members)
+            (Caqr.Commute.wires plan))
+        steps)
+
+let prop_commute_emit_complete =
+  QCheck.Test.make ~name:"commute: emit keeps every gate" ~count:40 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let c = Caqr.Commute.emit (Caqr.Commute.make g) in
+      Quantum.Circuit.two_q_count c = Galg.Graph.size g)
+
+let prop_commute_emit_reuse_complete =
+  QCheck.Test.make ~name:"commute: reused emit keeps every gate" ~count:30 arb_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let steps = Caqr.Commute.sweep ~mode:`Heuristic g in
+      let last = List.nth steps (List.length steps - 1) in
+      let c = Caqr.Commute.emit last.Caqr.Commute.plan in
+      Quantum.Circuit.two_q_count c = Galg.Graph.size g)
+
+(* ---- Optimizer properties ---- *)
+
+let prop_optimize_never_grows =
+  QCheck.Test.make ~name:"optimize: gate count never increases" ~count:100
+    arb_circuit (fun spec ->
+      let c = build_circuit spec in
+      Quantum.Circuit.gate_count (Quantum.Optimize.peephole c)
+      <= Quantum.Circuit.gate_count c)
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimize: idempotent" ~count:100 arb_circuit
+    (fun spec ->
+      let o = Quantum.Optimize.peephole (build_circuit spec) in
+      Quantum.Circuit.gate_count (Quantum.Optimize.peephole o)
+      = Quantum.Circuit.gate_count o)
+
+let prop_optimize_preserves_distribution =
+  QCheck.Test.make ~name:"optimize: distribution preserved" ~count:15
+    arb_circuit (fun spec ->
+      let c = build_measured spec in
+      let o = Quantum.Optimize.peephole c in
+      let d0 = Sim.Executor.run ~seed:9 ~shots:1500 c in
+      let d1 = Sim.Executor.run ~seed:10 ~shots:1500 o in
+      Sim.Counts.tvd d0 d1 < 0.12)
+
+(* ---- QASM roundtrip ---- *)
+
+let prop_qasm_roundtrip =
+  QCheck.Test.make ~name:"qasm: parse (print c) = c" ~count:60 arb_circuit
+    (fun spec ->
+      let c = build_measured spec in
+      let c' = Quantum.Qasm_parser.of_string (Quantum.Qasm.to_string c) in
+      c'.Quantum.Circuit.num_qubits = c.Quantum.Circuit.num_qubits
+      && Quantum.Circuit.gate_count c' = Quantum.Circuit.gate_count c
+      && Array.for_all2
+           (fun a b -> a.Quantum.Gate.kind = b.Quantum.Gate.kind)
+           c'.Quantum.Circuit.gates c.Quantum.Circuit.gates)
+
+(* ---- Budgeted planning properties ---- *)
+
+let prop_budget_plan_usage_within =
+  QCheck.Test.make ~name:"commute: budget plan respects budget" ~count:60
+    arb_graph (fun spec ->
+      let g = build_graph spec in
+      let n = Galg.Graph.order g in
+      List.for_all
+        (fun budget ->
+          match Caqr.Commute.plan_with_budget g ~budget with
+          | None -> true
+          | Some p -> Caqr.Commute.usage p <= budget)
+        [ n; (n / 2) + 1; (n / 3) + 2 ])
+
+let prop_budget_plan_chains_independent =
+  QCheck.Test.make ~name:"commute: budget plan chains independent" ~count:60
+    arb_graph (fun spec ->
+      let g = build_graph spec in
+      let n = Galg.Graph.order g in
+      match Caqr.Commute.plan_with_budget g ~budget:(max 2 (n - 2)) with
+      | None -> true
+      | Some p ->
+        List.for_all
+          (fun head ->
+            let members = Caqr.Commute.chain p head in
+            List.for_all
+              (fun a ->
+                List.for_all
+                  (fun b -> a = b || not (Galg.Graph.has_edge g a b))
+                  members)
+              members)
+          (Caqr.Commute.wires p))
+
+let prop_budget_plan_emit_complete =
+  QCheck.Test.make ~name:"commute: budget plan emits every gate" ~count:60
+    arb_graph (fun spec ->
+      let g = build_graph spec in
+      let n = Galg.Graph.order g in
+      match Caqr.Commute.plan_with_budget g ~budget:(max 2 ((n / 2) + 1)) with
+      | None -> true
+      | Some p ->
+        Quantum.Circuit.two_q_count (Caqr.Commute.emit p) = Galg.Graph.size g)
+
+let prop_budget_floor_geq_coloring =
+  QCheck.Test.make ~name:"commute: no plan below chromatic bound" ~count:40
+    arb_graph (fun spec ->
+      let g = build_graph spec in
+      let chi = Caqr.Commute.min_qubits g in
+      (* Coloring is a lower bound: a budget below it must be rejected
+         whenever the graph has at least one edge. *)
+      chi < 2 || Caqr.Commute.plan_with_budget g ~budget:(chi - 1) = None)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "galg",
+        List.map to_alcotest
+          [
+            prop_size_consistent;
+            prop_degree_sum;
+            prop_bfs_triangle_inequality;
+            prop_coloring_proper;
+            prop_coloring_bound;
+            prop_blossom_valid;
+            prop_blossom_geq_greedy;
+            prop_priority_valid;
+          ] );
+      ( "quantum",
+        List.map to_alcotest
+          [
+            prop_depth_bounds;
+            prop_dag_edges_forward;
+            prop_reachability_matches_dfs;
+            prop_compact_preserves_gates;
+          ] );
+      ( "sim",
+        List.map to_alcotest
+          [ prop_norm_preserved; prop_probabilities_sum; prop_tvd_range ] );
+      ( "reuse",
+        List.map to_alcotest
+          [
+            prop_predict_depth_exact;
+            prop_apply_drops_usage;
+            prop_apply_preserves_distribution;
+            prop_sweep_usage_decreases;
+          ] );
+      ( "commute",
+        List.map to_alcotest
+          [
+            prop_commute_chains_independent;
+            prop_commute_emit_complete;
+            prop_commute_emit_reuse_complete;
+            prop_budget_plan_usage_within;
+            prop_budget_plan_chains_independent;
+            prop_budget_plan_emit_complete;
+            prop_budget_floor_geq_coloring;
+          ] );
+      ( "optimize",
+        List.map to_alcotest
+          [
+            prop_optimize_never_grows;
+            prop_optimize_idempotent;
+            prop_optimize_preserves_distribution;
+            prop_qasm_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,120 @@
+(* Unit tests for SR-CaQR: the lazy, reclaim-aware mapper. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+module G = Quantum.Gate
+
+let mumbai = Hardware.Device.mumbai
+
+let hardware_compliant device (c : Quantum.Circuit.t) =
+  Array.for_all
+    (fun g ->
+      if G.is_two_q g.G.kind then
+        match G.qubits g.G.kind with
+        | [ a; b ] -> Hardware.Device.adjacent device a b
+        | _ -> true
+      else true)
+    c.Quantum.Circuit.gates
+
+let test_bv10_zero_swaps () =
+  (* The paper's flagship SR result: the BV star compiles with reuse and
+     no SWAPs at all. *)
+  let r = Caqr.Sr_caqr.regular mumbai (Benchmarks.Bv.circuit 10) in
+  check int "no swaps" 0 r.Caqr.Sr_caqr.swaps_added;
+  check int "two qubits" 2 r.Caqr.Sr_caqr.qubits_used;
+  check bool "reuses happened" true (r.Caqr.Sr_caqr.reuses >= 8);
+  check bool "compliant" true (hardware_compliant mumbai r.Caqr.Sr_caqr.physical)
+
+let test_bv10_semantics () =
+  let r = Caqr.Sr_caqr.regular mumbai (Benchmarks.Bv.circuit 10) in
+  let d = Sim.Executor.run ~seed:1 ~shots:64 r.Caqr.Sr_caqr.physical in
+  check int "secret recovered" 64 (Sim.Counts.get d (Benchmarks.Bv.expected_output 10))
+
+let test_all_regular_benchmarks_compile () =
+  List.iter
+    (fun e ->
+      let r = Caqr.Sr_caqr.regular mumbai e.Benchmarks.Suite.circuit in
+      check bool
+        (e.Benchmarks.Suite.name ^ " compliant")
+        true
+        (hardware_compliant mumbai r.Caqr.Sr_caqr.physical))
+    (Benchmarks.Suite.regular ())
+
+let test_semantics_all_regular () =
+  (* SR-compiled circuits reproduce the logical output distribution. *)
+  List.iter
+    (fun name ->
+      let e = Benchmarks.Suite.find name in
+      let r = Caqr.Sr_caqr.regular mumbai e.Benchmarks.Suite.circuit in
+      let d0 = Sim.Executor.run ~seed:2 ~shots:48 e.Benchmarks.Suite.circuit in
+      let d1 = Sim.Executor.run ~seed:3 ~shots:48 r.Caqr.Sr_caqr.physical in
+      check (Alcotest.float 1e-9) (name ^ " identical") 0. (Sim.Counts.tvd d0 d1))
+    [ "RD-32"; "XOR_5"; "CC_10"; "System_9" ]
+
+let test_swaps_not_worse_than_baseline () =
+  (* SR-CaQR's selling point (Table 2): it should beat or tie the no-reuse
+     baseline on SWAPs for the star-like benchmarks. *)
+  List.iter
+    (fun name ->
+      let e = Benchmarks.Suite.find name in
+      let sr = Caqr.Sr_caqr.regular mumbai e.Benchmarks.Suite.circuit in
+      let base = Transpiler.Transpile.run mumbai e.Benchmarks.Suite.circuit in
+      check bool
+        (Printf.sprintf "%s: sr %d <= base %d" name sr.Caqr.Sr_caqr.swaps_added
+           base.Transpiler.Transpile.stats.Transpiler.Transpile.swaps)
+        true
+        (sr.Caqr.Sr_caqr.swaps_added
+        <= base.Transpiler.Transpile.stats.Transpiler.Transpile.swaps))
+    [ "BV_10"; "CC_10"; "XOR_5" ]
+
+let test_qubit_usage_reduced () =
+  let e = Benchmarks.Suite.find "CC_10" in
+  let r = Caqr.Sr_caqr.regular mumbai e.Benchmarks.Suite.circuit in
+  check bool "fewer than 10 qubits" true (r.Caqr.Sr_caqr.qubits_used < 10)
+
+let test_commutable_compiles () =
+  let g = Galg.Gen.random ~seed:42 8 ~density:0.3 in
+  let r = Caqr.Sr_caqr.commutable mumbai g in
+  check bool "compliant" true (hardware_compliant mumbai r.Caqr.Sr_caqr.physical);
+  check bool "fits device" true (r.Caqr.Sr_caqr.qubits_used <= 27)
+
+let test_commutable_energy_preserved () =
+  let g = Galg.Gen.random ~seed:43 7 ~density:0.35 in
+  let problem = { Qaoa.Maxcut.graph = g; name = "t" } in
+  let r = Caqr.Sr_caqr.commutable mumbai g in
+  let plain = Caqr.Commute.emit (Caqr.Commute.make g) in
+  let e c seed =
+    Qaoa.Maxcut.neg_expected_cut problem (Sim.Executor.run ~seed ~shots:6000 c)
+  in
+  check bool "energy close" true
+    (Float.abs (e plain 1 -. e r.Caqr.Sr_caqr.physical 2) < 0.25)
+
+let test_line_device_fallback () =
+  (* On a line, SR must still produce a compliant circuit (swaps needed). *)
+  let line = Hardware.Device.ideal (Hardware.Topology.line 8) in
+  let r = Caqr.Sr_caqr.regular line (Benchmarks.Bv.circuit 6) in
+  check bool "compliant" true (hardware_compliant line r.Caqr.Sr_caqr.physical);
+  let d = Sim.Executor.run ~seed:4 ~shots:48 r.Caqr.Sr_caqr.physical in
+  check int "secret" 48 (Sim.Counts.get d (Benchmarks.Bv.expected_output 6))
+
+let () =
+  Alcotest.run "sr_caqr"
+    [
+      ( "regular",
+        [
+          Alcotest.test_case "bv10 zero swaps" `Quick test_bv10_zero_swaps;
+          Alcotest.test_case "bv10 semantics" `Quick test_bv10_semantics;
+          Alcotest.test_case "all compile" `Quick test_all_regular_benchmarks_compile;
+          Alcotest.test_case "semantics preserved" `Slow test_semantics_all_regular;
+          Alcotest.test_case "swaps vs baseline" `Quick test_swaps_not_worse_than_baseline;
+          Alcotest.test_case "usage reduced" `Quick test_qubit_usage_reduced;
+          Alcotest.test_case "line device" `Quick test_line_device_fallback;
+        ] );
+      ( "commutable",
+        [
+          Alcotest.test_case "compiles" `Quick test_commutable_compiles;
+          Alcotest.test_case "energy preserved" `Slow test_commutable_energy_preserved;
+        ] );
+    ]

@@ -1,0 +1,184 @@
+(* Unit tests for layout, routing, and the baseline transpile pipeline. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+module B = Quantum.Circuit.Builder
+module G = Quantum.Gate
+
+let line_device n = Hardware.Device.ideal (Hardware.Topology.line n)
+
+let ghz n =
+  let b = B.create ~num_qubits:n ~num_clbits:n in
+  B.h b 0;
+  for q = 1 to n - 1 do
+    B.cx b 0 q
+  done;
+  for q = 0 to n - 1 do
+    B.measure b q q
+  done;
+  B.build b
+
+(* ---- Layout ---- *)
+
+let test_trivial_layout () =
+  let d = line_device 5 in
+  let l = Transpiler.Layout.trivial d 3 in
+  check int "l2p" 1 l.Transpiler.Layout.l2p.(1);
+  check int "p2l" 2 l.Transpiler.Layout.p2l.(2);
+  check int "free" (-1) l.Transpiler.Layout.p2l.(4)
+
+let test_trivial_too_small () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Layout.trivial: device too small") (fun () ->
+      ignore (Transpiler.Layout.trivial (line_device 2) 3))
+
+let test_initial_layout_total () =
+  let d = Hardware.Device.mumbai in
+  let c = ghz 5 in
+  let l = Transpiler.Layout.initial d c in
+  (* Every logical mapped, all distinct. *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      check bool "mapped" true (p >= 0);
+      check bool "distinct" false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ())
+    l.Transpiler.Layout.l2p;
+  (* p2l inverse consistent *)
+  Array.iteri
+    (fun p l' -> if l' >= 0 then check int "inverse" p l.Transpiler.Layout.l2p.(l'))
+    l.Transpiler.Layout.p2l
+
+let test_initial_layout_neighbors_close () =
+  (* GHZ hub q0 should land on a well-connected qubit with its partners
+     nearby. *)
+  let d = Hardware.Device.mumbai in
+  let c = ghz 4 in
+  let l = Transpiler.Layout.initial d c in
+  let hub = l.Transpiler.Layout.l2p.(0) in
+  let close_count =
+    List.length
+      (List.filter
+         (fun q -> Hardware.Device.distance d hub l.Transpiler.Layout.l2p.(q) <= 2)
+         [ 1; 2; 3 ])
+  in
+  check bool "most partners within 2 hops" true (close_count >= 2)
+
+let test_apply_swap () =
+  let d = line_device 4 in
+  let l = Transpiler.Layout.trivial d 2 in
+  Transpiler.Layout.apply_swap l 1 2;
+  check int "logical 1 moved" 2 l.Transpiler.Layout.l2p.(1);
+  check int "physical 1 free" (-1) l.Transpiler.Layout.p2l.(1);
+  check int "physical 2 occupied" 1 l.Transpiler.Layout.p2l.(2)
+
+(* ---- Router ---- *)
+
+let adjacent_only device (c : Quantum.Circuit.t) =
+  Array.for_all
+    (fun g ->
+      if G.is_two_q g.G.kind then
+        match G.qubits g.G.kind with
+        | [ a; b ] -> Hardware.Device.adjacent device a b
+        | _ -> true
+      else true)
+    c.Quantum.Circuit.gates
+
+let test_route_already_compliant () =
+  let d = line_device 3 in
+  let b = B.create ~num_qubits:3 ~num_clbits:0 in
+  B.cx b 0 1;
+  B.cx b 1 2;
+  let r = Transpiler.Router.route d (Transpiler.Layout.trivial d 3) (B.build b) in
+  check int "no swaps" 0 r.Transpiler.Router.swaps_added;
+  check bool "compliant" true (adjacent_only d r.Transpiler.Router.physical)
+
+let test_route_inserts_swaps () =
+  let d = line_device 3 in
+  let b = B.create ~num_qubits:3 ~num_clbits:0 in
+  B.cx b 0 2;
+  let r = Transpiler.Router.route d (Transpiler.Layout.trivial d 3) (B.build b) in
+  check bool "at least one swap" true (r.Transpiler.Router.swaps_added >= 1);
+  check bool "compliant" true (adjacent_only d r.Transpiler.Router.physical)
+
+let test_route_ghz_line () =
+  let d = line_device 6 in
+  let r = Transpiler.Router.route d (Transpiler.Layout.trivial d 6) (ghz 6) in
+  check bool "compliant" true (adjacent_only d r.Transpiler.Router.physical);
+  check bool "swaps bounded" true (r.Transpiler.Router.swaps_added <= 15)
+
+let test_route_preserves_semantics () =
+  (* Routed GHZ must produce the same distribution as the logical one. *)
+  let d = line_device 5 in
+  let c = ghz 5 in
+  let r = Transpiler.Router.route d (Transpiler.Layout.trivial d 5) c in
+  let d0 = Sim.Executor.run ~seed:1 ~shots:400 c in
+  let d1 = Sim.Executor.run ~seed:2 ~shots:400 r.Transpiler.Router.physical in
+  check bool "same distribution" true (Sim.Counts.tvd d0 d1 < 0.08)
+
+let test_route_keeps_gate_multiset () =
+  let d = line_device 5 in
+  let c = ghz 5 in
+  let r = Transpiler.Router.route d (Transpiler.Layout.trivial d 5) c in
+  let phys = r.Transpiler.Router.physical in
+  check int "cx preserved + swaps"
+    (Quantum.Circuit.two_q_count c + r.Transpiler.Router.swaps_added)
+    (Quantum.Circuit.two_q_count phys);
+  check int "swap count matches" r.Transpiler.Router.swaps_added
+    (Quantum.Circuit.swap_count phys)
+
+(* ---- Transpile ---- *)
+
+let test_transpile_stats () =
+  let d = Hardware.Device.mumbai in
+  let r = Transpiler.Transpile.run d (ghz 5) in
+  let s = r.Transpiler.Transpile.stats in
+  check bool "qubits at least logical" true (s.Transpiler.Transpile.qubits_used >= 5);
+  check bool "depth positive" true (s.Transpiler.Transpile.depth > 0);
+  check bool "duration positive" true (s.Transpiler.Transpile.duration_dt > 0);
+  check bool "compliant" true (adjacent_only d r.Transpiler.Transpile.physical)
+
+let test_physical_duration_uses_link_calibration () =
+  let d = Hardware.Device.mumbai in
+  let b = B.create ~num_qubits:27 ~num_clbits:0 in
+  B.cx b 0 1;
+  let c = B.build b in
+  check int "per-link duration"
+    (Hardware.Device.cx_duration d 0 1)
+    (Transpiler.Transpile.physical_duration d c)
+
+let test_bv10_baseline_needs_swaps () =
+  (* The paper's Table 1: BV_10's star interaction graph cannot embed in
+     heavy-hex (max degree 3) without SWAPs. *)
+  let d = Hardware.Device.mumbai in
+  let r = Transpiler.Transpile.run d (Benchmarks.Bv.circuit 10) in
+  check bool "swaps > 0" true (r.Transpiler.Transpile.stats.Transpiler.Transpile.swaps > 0)
+
+let () =
+  Alcotest.run "transpiler"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial_layout;
+          Alcotest.test_case "trivial too small" `Quick test_trivial_too_small;
+          Alcotest.test_case "initial total" `Quick test_initial_layout_total;
+          Alcotest.test_case "partners close" `Quick test_initial_layout_neighbors_close;
+          Alcotest.test_case "apply swap" `Quick test_apply_swap;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "compliant passthrough" `Quick test_route_already_compliant;
+          Alcotest.test_case "inserts swaps" `Quick test_route_inserts_swaps;
+          Alcotest.test_case "ghz on line" `Quick test_route_ghz_line;
+          Alcotest.test_case "semantics preserved" `Quick test_route_preserves_semantics;
+          Alcotest.test_case "gate multiset" `Quick test_route_keeps_gate_multiset;
+        ] );
+      ( "transpile",
+        [
+          Alcotest.test_case "stats" `Quick test_transpile_stats;
+          Alcotest.test_case "link durations" `Quick test_physical_duration_uses_link_calibration;
+          Alcotest.test_case "bv10 needs swaps" `Quick test_bv10_baseline_needs_swaps;
+        ] );
+    ]
