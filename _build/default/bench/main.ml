@@ -18,9 +18,24 @@ let section id title =
   Printf.printf "%s — %s\n" id title;
   Printf.printf "======================================================================\n%!"
 
+(* Every artifact the harness compiles passes the structural validator;
+   a violation prints loudly instead of silently contributing a bogus
+   number to a table. *)
+let structural_violations = ref 0
+
+let check_artifact device ~logical ~physical =
+  match Verify.Structural.check_artifact device ~logical ~physical with
+  | Verify.Verdict.Inequivalent cex ->
+    incr structural_violations;
+    Printf.printf "!! STRUCTURAL VIOLATION: %s\n%!" cex.Verify.Verdict.detail
+  | _ -> ()
+
 let compiled_stats device circuit =
   let compacted, _ = Quantum.Circuit.compact_qubits circuit in
-  (Transpiler.Transpile.run device compacted).Transpiler.Transpile.stats
+  let routed = Transpiler.Transpile.run device compacted in
+  check_artifact device ~logical:compacted
+    ~physical:routed.Transpiler.Transpile.physical;
+  routed.Transpiler.Transpile.stats
 
 (* ---------------------------------------------------------------- fig1 *)
 
@@ -513,6 +528,56 @@ let ablation_matching () =
         exact greedy)
     [ (10, 1); (16, 2); (20, 3); (24, 4) ]
 
+(* ---------------------------------------------------------------- verify *)
+
+(* Translation validation over the whole registry: semantic (exact or
+   probe-based) for everything the simulator affords, structural-only
+   for the widest instances. Keeps the evaluation honest — every number
+   in the tables above comes from a circuit the validator accepts. *)
+let verify_exp () =
+  section "verify" "translation validation of every strategy's output";
+  let strategies =
+    [
+      ("baseline", Caqr.Pipeline.Baseline);
+      ("qs-max-reuse", Caqr.Pipeline.Qs_max_reuse);
+      ("qs-min-depth", Caqr.Pipeline.Qs_min_depth);
+      ("qs-best-fidelity", Caqr.Pipeline.Qs_best_fidelity);
+      ("sr", Caqr.Pipeline.Sr);
+    ]
+  in
+  Printf.printf "%-14s %-18s %-8s %s\n" "benchmark" "strategy" "level" "verdict";
+  let bad = ref 0 in
+  List.iter
+    (fun (e : Benchmarks.Suite.entry) ->
+      let input =
+        match e.Benchmarks.Suite.kind with
+        | Benchmarks.Suite.Regular -> Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+        | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+      in
+      (* Semantic probing of a 2^20+ state vector costs minutes per
+         strategy; past 16 program qubits the structural pass carries
+         the experiment. *)
+      let level =
+        if e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits > 16 then
+          Verify.Static
+        else Verify.Auto
+      in
+      List.iter
+        (fun (name, strategy) ->
+          let r = Caqr.Pipeline.compile ~verify:level ~seed:7 mumbai strategy input in
+          let verdict =
+            match r.Caqr.Pipeline.verification with
+            | Some v -> v
+            | None -> Verify.Inconclusive "verification was not run"
+          in
+          if Verify.Verdict.is_inequivalent verdict then incr bad;
+          Printf.printf "%-14s %-18s %-8s %s\n%!" e.Benchmarks.Suite.name name
+            (Verify.level_name level)
+            (Verify.Verdict.to_string verdict))
+        strategies)
+    (Benchmarks.Suite.table1 ());
+  Printf.printf "\n=> inequivalent artifacts: %d (target 0)\n" !bad
+
 (* ----------------------------------------------------------------- main *)
 
 let experiments =
@@ -532,6 +597,7 @@ let experiments =
     ("ablation:search", ablation_search);
     ("ablation:matching", ablation_matching);
     ("ablation:noise", ablation_noise);
+    ("verify", verify_exp);
     ("micro", micro);
   ]
 
@@ -558,5 +624,8 @@ let () =
         in
         if not skip then f ())
       experiments;
+    if !structural_violations > 0 then
+      Printf.printf "\n!! %d structural violation(s) — see above\n"
+        !structural_violations;
     Printf.printf "\n(total cpu: %.1f s)\n" (Sys.time () -. t0)
   end

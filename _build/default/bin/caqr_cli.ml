@@ -5,7 +5,8 @@
      compile  <bench>          compile a benchmark with a chosen strategy
      sweep    <bench>          print the qubit/depth tradeoff table
      check    <bench>          reuse applicability verdict
-     simulate <bench>          compile and run (optionally noisy) simulation *)
+     simulate <bench>          compile and run (optionally noisy) simulation
+     verify   <bench>          translation-validate every strategy's output *)
 
 let all_strategies =
   [
@@ -76,6 +77,31 @@ let noisy_flag =
 let shots_flag =
   Cmdliner.Arg.(
     value & opt int 1024 & info [ "shots" ] ~docv:"N" ~doc:"Shots to sample.")
+
+let seed_flag =
+  Cmdliner.Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Random seed for simulation and verification probes.")
+
+let level_arg =
+  let parse s =
+    match Verify.level_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf l = Format.pp_print_string ppf (Verify.level_name l) in
+  Cmdliner.Arg.conv (parse, print)
+
+let level_flag =
+  Cmdliner.Arg.(
+    value
+    & opt level_arg Verify.Auto
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:
+          "Verification level: static (structural checks only), sampled \
+           (statistical probes), exact (branch-enumeration equivalence), or \
+           auto (exact when the circuits fit, else probes).")
 
 let device_for (e : Benchmarks.Suite.entry) =
   Hardware.Device.heavy_hex_for e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
@@ -200,12 +226,12 @@ let qasmc_cmd =
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run entry strategy noisy shots =
+  let run entry strategy noisy shots seed =
     let device = device_for entry in
     let r = Caqr.Pipeline.compile device strategy (input_of_entry entry) in
     let counts =
-      if noisy then Sim.Noise.run ~device ~seed:1 ~shots r.Caqr.Pipeline.physical
-      else Sim.Executor.run ~seed:1 ~shots r.Caqr.Pipeline.physical
+      if noisy then Sim.Noise.run ~device ~seed ~shots r.Caqr.Pipeline.physical
+      else Sim.Executor.run ~seed ~shots r.Caqr.Pipeline.physical
     in
     Format.printf "%s / %s (%s, %d shots):@.%a@." entry.Benchmarks.Suite.name
       (Caqr.Pipeline.strategy_name strategy)
@@ -214,7 +240,42 @@ let simulate_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "simulate" ~doc:"Compile and simulate a benchmark")
-    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag)
+    Cmdliner.Term.(
+      const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag $ seed_flag)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run entry level seed =
+    let device = device_for entry in
+    let input = input_of_entry entry in
+    Printf.printf "%s — translation validation (level %s, seed %d)\n"
+      entry.Benchmarks.Suite.name (Verify.level_name level) seed;
+    Printf.printf "%-18s %-8s %s\n" "strategy" "pairs" "verdict";
+    let failed = ref false in
+    List.iter
+      (fun (name, strategy) ->
+        let r = Caqr.Pipeline.compile ~verify:level ~seed device strategy input in
+        let verdict =
+          match r.Caqr.Pipeline.verification with
+          | Some v -> v
+          | None -> Verify.Inconclusive "verification was not run"
+        in
+        if Verify.Verdict.is_inequivalent verdict then failed := true;
+        Printf.printf "%-18s %-8d %s\n%!" name r.Caqr.Pipeline.reuse_pairs
+          (Verify.Verdict.to_string verdict))
+      all_strategies;
+    if !failed then begin
+      Printf.eprintf "verification FAILED: a strategy emitted an inequivalent circuit\n";
+      exit 1
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "verify"
+       ~doc:
+         "Compile a benchmark with every strategy and translation-validate \
+          each output; exits non-zero if any verdict is inequivalent")
+    Cmdliner.Term.(const run $ bench_pos $ level_flag $ seed_flag)
 
 let () =
   let info =
@@ -223,4 +284,5 @@ let () =
   in
   exit
     (Cmdliner.Cmd.eval
-       (Cmdliner.Cmd.group info [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; qasmc_cmd ]))
+       (Cmdliner.Cmd.group info
+          [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd ]))

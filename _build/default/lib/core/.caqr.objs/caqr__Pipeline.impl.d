@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Commute Galg List Option Printf Qs_caqr Quantum Reuse Sr_caqr Transpiler
+lib/core/pipeline.ml: Commute Galg List Option Printf Qs_caqr Quantum Reuse Sr_caqr Transpiler Verify

@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Galg Hardware Quantum Transpiler
+lib/core/pipeline.mli: Galg Hardware Quantum Transpiler Verify

@@ -14,6 +14,7 @@ type report = {
   physical : Quantum.Circuit.t;
   stats : Transpiler.Transpile.stats;
   reuse_pairs : int;
+  verification : Verify.verdict option;
 }
 
 let strategy_name = function
@@ -39,53 +40,68 @@ let finish device strategy logical reuse_pairs =
     physical = routed.Transpiler.Transpile.physical;
     stats = routed.Transpiler.Transpile.stats;
     reuse_pairs;
+    verification = None;
   }
 
+(* Reduction trajectories with the applied pairs kept — the pairs feed
+   the structural translation validator. *)
 let qs_steps input =
   match input with
   | Regular c ->
     List.map
-      (fun (s : Qs_caqr.step) -> (s.Qs_caqr.circuit, List.length s.Qs_caqr.pairs))
+      (fun (s : Qs_caqr.step) -> (s.Qs_caqr.circuit, s.Qs_caqr.pairs))
       (Qs_caqr.sweep c)
   | Commutable g ->
     List.map
       (fun (s : Commute.step) ->
-        (Commute.emit s.Commute.plan, List.length (Commute.pairs s.Commute.plan)))
+        (Commute.emit s.Commute.plan, Commute.pairs s.Commute.plan))
       (Commute.sweep g)
 
-let compile device strategy input =
+let compile_unverified device strategy input ~original =
   match strategy with
-  | Baseline -> finish device strategy (logical_of_input input) 0
+  | Baseline -> (finish device strategy original 0, Some [])
   | Sr ->
     let r =
       match input with
       | Regular c -> Sr_caqr.regular device c
       | Commutable g -> Sr_caqr.commutable device g
     in
-    {
-      strategy;
-      logical = logical_of_input input;
-      physical = r.Sr_caqr.physical;
-      stats = Transpiler.Transpile.stats_of device r.Sr_caqr.physical;
-      reuse_pairs = r.Sr_caqr.reuses;
-    }
+    ( {
+        strategy;
+        logical = original;
+        physical = r.Sr_caqr.physical;
+        stats = Transpiler.Transpile.stats_of device r.Sr_caqr.physical;
+        reuse_pairs = r.Sr_caqr.reuses;
+        verification = None;
+      },
+      (* SR's lazy mapper reuses physical qubits as a side effect and
+         never names logical pairs. *)
+      None )
   | Qs_max_reuse ->
     (match input with
      | Regular c ->
-       let reused = Qs_caqr.max_reuse c in
-       finish device strategy reused
-         (Quantum.Circuit.mid_circuit_measurements reused)
+       let target = Qs_caqr.min_qubits c in
+       let reused, pairs =
+         match Qs_caqr.search ~target c with Some r -> r | None -> (c, [])
+       in
+       ( finish device strategy reused
+           (Quantum.Circuit.mid_circuit_measurements reused),
+         Some pairs )
      | Commutable _ ->
        (match List.rev (qs_steps input) with
-        | (c, n) :: _ -> finish device strategy c n
+        | (c, pairs) :: _ ->
+          (finish device strategy c (List.length pairs), Some pairs)
         | [] -> invalid_arg "Pipeline.compile: empty sweep"))
   | Qs_min_depth ->
     let candidates =
-      List.map (fun (c, n) -> finish device strategy c n) (qs_steps input)
+      List.map
+        (fun (c, pairs) ->
+          (finish device strategy c (List.length pairs), Some pairs))
+        (qs_steps input)
     in
     (match
        List.sort
-         (fun a b ->
+         (fun (a, _) (b, _) ->
            compare a.stats.Transpiler.Transpile.depth b.stats.Transpiler.Transpile.depth)
          candidates
      with
@@ -95,11 +111,14 @@ let compile device strategy input =
     (* The paper's tunable objective: pick the reuse level whose compiled
        circuit maximizes estimated success probability. *)
     let candidates =
-      List.map (fun (c, n) -> finish device strategy c n) (qs_steps input)
+      List.map
+        (fun (c, pairs) ->
+          (finish device strategy c (List.length pairs), Some pairs))
+        (qs_steps input)
     in
     (match
        List.sort
-         (fun a b ->
+         (fun (a, _) (b, _) ->
            compare
              (Transpiler.Esp.of_circuit device b.physical)
              (Transpiler.Esp.of_circuit device a.physical))
@@ -110,18 +129,41 @@ let compile device strategy input =
   | Qs_target target ->
     let found =
       match input with
-      | Regular c ->
-        Option.map
-          (fun (c', pairs) -> (c', List.length pairs))
-          (Qs_caqr.search ~target c)
+      | Regular c -> Qs_caqr.search ~target c
       | Commutable _ ->
-        List.find_opt (fun (c, _) -> Reuse.qubit_usage c <= target) (qs_steps input)
+        List.find_opt
+          (fun (c, _) -> Reuse.qubit_usage c <= target)
+          (qs_steps input)
     in
     (match found with
-     | Some (c, n) -> finish device strategy c n
+     | Some (c, pairs) ->
+       (finish device strategy c (List.length pairs), Some pairs)
      | None ->
        failwith
          (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
+
+let compile ?verify ?(seed = 1) device strategy input =
+  let original = logical_of_input input in
+  let report, pairs = compile_unverified device strategy input ~original in
+  match verify with
+  | None -> report
+  | Some level ->
+    let subject =
+      {
+        Verify.original;
+        logical = report.logical;
+        physical = report.physical;
+        device;
+        pairs =
+          Option.map
+            (List.map (fun (p : Reuse.pair) ->
+                 { Verify.Structural.src = p.Reuse.src; dst = p.Reuse.dst }))
+            pairs;
+        commutable =
+          (match input with Commutable g -> Some g | Regular _ -> None);
+      }
+    in
+    { report with verification = Some (Verify.run ~seed level subject) }
 
 let beneficial device input =
   match input with

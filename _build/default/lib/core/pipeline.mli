@@ -24,11 +24,27 @@ type report = {
   physical : Quantum.Circuit.t;
   stats : Transpiler.Transpile.stats;
   reuse_pairs : int;
+  verification : Verify.verdict option;
+      (** translation-validation verdict, present when [compile] was
+          asked to verify *)
 }
 
-(** [compile device strategy input]. [Qs_target] raises [Failure] when
-    the budget is unreachable. *)
-val compile : Hardware.Device.t -> strategy -> input -> report
+(** [compile ?verify ?seed device strategy input]. [Qs_target] raises
+    [Failure] when the budget is unreachable.
+
+    With [?verify], the compiled artifact is independently validated at
+    the requested {!Verify.level} (structural reuse conditions, device
+    legality, and — at semantic levels — exact or probe-based
+    distribution equivalence against the untransformed input); the
+    verdict lands in [report.verification]. [seed] (default 1) drives the
+    probe checker so verification is reproducible. *)
+val compile :
+  ?verify:Verify.level ->
+  ?seed:int ->
+  Hardware.Device.t ->
+  strategy ->
+  input ->
+  report
 
 (** The paper's applicability test: does reuse help this input at all?
     Returns a human-readable verdict along with the boolean. *)

@@ -120,3 +120,23 @@ let rec peephole c =
   if changed then peephole c' else c'
 
 let removed c = Circuit.gate_count c - Circuit.gate_count (peephole c)
+
+(* loc.(w) is where wire w's state lives once SWAPs are dropped. After
+   Swap (a, b) the original wire a holds what b held, so the elided
+   location of a becomes the old location of b and vice versa. *)
+let elide_swaps (c : Circuit.t) =
+  let loc = Array.init (max 1 c.Circuit.num_qubits) Fun.id in
+  let kinds =
+    List.filter_map
+      (fun (g : Gate.t) ->
+        match g.Gate.kind with
+        | Gate.Swap (a, b) ->
+          let t = loc.(a) in
+          loc.(a) <- loc.(b);
+          loc.(b) <- t;
+          None
+        | k -> Some (Gate.map_qubits (fun q -> loc.(q)) k))
+      (Array.to_list c.Circuit.gates)
+  in
+  Circuit.of_kinds ~num_qubits:c.Circuit.num_qubits
+    ~num_clbits:c.Circuit.num_clbits kinds

@@ -11,6 +11,8 @@ let init n =
 
 let num_qubits st = st.n
 
+let copy st = { n = st.n; re = Array.copy st.re; im = Array.copy st.im }
+
 let norm2 st =
   let acc = ref 0. in
   for i = 0 to Array.length st.re - 1 do

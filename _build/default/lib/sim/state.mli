@@ -31,6 +31,15 @@ val apply_swap : t -> int -> int -> unit
 (** Apply a Pauli (for noise injection): 0 = I, 1 = X, 2 = Y, 3 = Z. *)
 val apply_pauli : t -> int -> int -> unit
 
+(** Deep copy — branch-enumeration checkers fork the state at each
+    measurement instead of sampling it. *)
+val copy : t -> t
+
+(** [collapse st q outcome] projects qubit [q] onto [outcome] and
+    renormalizes, regardless of how unlikely the outcome was (callers
+    weigh branches by {!prob_one} themselves). *)
+val collapse : t -> int -> int -> unit
+
 (** [measure rng st q] samples an outcome, collapses, renormalizes. *)
 val measure : Random.State.t -> t -> int -> int
 

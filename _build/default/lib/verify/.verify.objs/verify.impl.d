@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Equiv Galg Hardware List Printf Probe Quantum String Structural Verdict

@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Equiv Galg Hardware Probe Quantum Structural Verdict

@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Array Float Hashtbl List Printf Quantum Sim Verdict

@@ -1,0 +1,1 @@
+lib/verify/equiv.mli: Quantum Verdict

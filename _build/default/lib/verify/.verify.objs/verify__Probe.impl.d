@@ -1,0 +1,1 @@
+lib/verify/probe.ml: Array Float List Printf Quantum Random Sim Verdict

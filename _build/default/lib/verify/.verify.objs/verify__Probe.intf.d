@@ -1,0 +1,1 @@
+lib/verify/probe.mli: Quantum Verdict

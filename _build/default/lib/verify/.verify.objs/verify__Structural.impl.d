@@ -1,0 +1,1 @@
+lib/verify/structural.ml: Array Galg Hardware Int List Printf Quantum Set Verdict

@@ -1,0 +1,1 @@
+lib/verify/structural.mli: Galg Hardware Quantum Verdict

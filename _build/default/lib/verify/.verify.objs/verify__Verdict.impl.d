@@ -1,0 +1,1 @@
+lib/verify/verdict.ml: Format List Printf

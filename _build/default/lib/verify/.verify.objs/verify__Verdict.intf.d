@@ -1,0 +1,1 @@
+lib/verify/verdict.mli: Format

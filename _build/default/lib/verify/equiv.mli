@@ -1,0 +1,42 @@
+(** Exact semantic equivalence for small circuits.
+
+    Both circuits are interpreted as channels from |0...0> to a classical
+    outcome distribution: the checker walks the gate list, branching on
+    every mid-circuit measurement and reset (weighting each branch by its
+    Born probability and pruning zero-probability branches), so dynamic
+    circuits get their exact distribution instead of a sampled one. A
+    trailing block of measurements is read off the final state vector in
+    one pass, which keeps e.g. a measured QAOA layer from exploding into
+    2^n branches.
+
+    Two circuits are equivalent when their distributions agree on the
+    shared classical bits (the transform may append scratch clbits for
+    conditional resets; those are marginalized out). This is exactly the
+    §3.1 claim being validated: reuse preserves the program's outcome
+    distribution, including the qubit relabeling induced by the pairs —
+    relabeling never shows up in clbit space. *)
+
+type config = {
+  max_qubits : int;  (** refuse circuits wider than this after compaction (default 12) *)
+  max_clbits : int;  (** bound on the outcome-space exponent (default 20) *)
+  max_branches : int;  (** measurement-branch budget before giving up (default 16384) *)
+  tolerance : float;  (** L1 slack for float accumulation (default 1e-6) *)
+}
+
+val default : config
+
+(** [distribution ?config c] is the exact outcome distribution of [c]
+    over its classical register (array of length [2^num_clbits]), or
+    [Error reason] when the circuit exceeds the configured budgets. *)
+val distribution :
+  ?config:config -> Quantum.Circuit.t -> (float array, string) result
+
+(** [check ?config ~original ~transformed ()] compares exact
+    distributions on the shared clbits. [Inconclusive] when either side
+    exceeds the budgets. *)
+val check :
+  ?config:config ->
+  original:Quantum.Circuit.t ->
+  transformed:Quantum.Circuit.t ->
+  unit ->
+  Verdict.t

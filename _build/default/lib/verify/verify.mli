@@ -1,0 +1,60 @@
+(** Translation validation for reuse-transformed dynamic circuits.
+
+    CaQR's contract is that the transformed circuit computes the same
+    outcome distribution as the original (paper §3.1); this library
+    checks that claim per compiled artifact instead of trusting the
+    compiler. Three complementary checkers:
+
+    - {!Structural}: static validators (reuse-pair DAG conditions, device
+      coupling, classical-register accounting) — any size, no simulation;
+    - {!Equiv}: exact channel equivalence by measurement-branch
+      enumeration — small circuits only, complete counterexamples;
+    - {!Probe}: seeded statistical probing — sound, incomplete, scales to
+      whatever the state-vector simulator fits.
+
+    {!run} stacks them according to a {!level} and folds the verdicts. *)
+
+module Verdict = Verdict
+module Equiv = Equiv
+module Probe = Probe
+module Structural = Structural
+
+type verdict = Verdict.t =
+  | Equivalent
+  | Inequivalent of Verdict.counterexample
+  | Inconclusive of string
+
+(** How much checking to buy. Every level includes the structural pass. *)
+type level =
+  | Static  (** structural checks only *)
+  | Sampled  (** structural + seeded statistical probes *)
+  | Exact
+      (** structural + exact equivalence; [Inconclusive] when a side
+          exceeds the exact budgets *)
+  | Auto  (** exact when the circuits fit the exact budgets, else probes *)
+
+val level_name : level -> string
+
+(** Parses ["static" | "structural" | "sampled" | "probe" | "exact" | "auto"]. *)
+val level_of_string : string -> (level, string) result
+
+(** Everything one compiled artifact carries for validation. *)
+type subject = {
+  original : Quantum.Circuit.t;  (** pre-transform logical circuit *)
+  logical : Quantum.Circuit.t;  (** post-transform logical circuit *)
+  physical : Quantum.Circuit.t;  (** routed device circuit *)
+  device : Hardware.Device.t;
+  pairs : Structural.pair list option;
+      (** claimed reuse pairs in application order; [None] when the
+          strategy does not expose them (SR-CaQR's lazy mapper) *)
+  commutable : Galg.Graph.t option;
+      (** problem graph for commutable (QAOA) inputs — switches the pair
+          validation to the commutable-reuse conditions *)
+}
+
+(** [run ~seed level subject] — the orchestrated validation. Semantic
+    levels compare [original] against both [logical] and [physical]; when
+    the original is too wide to simulate, the transformed pair
+    [logical]/[physical] is still cross-checked and the verdict degrades
+    to [Inconclusive] rather than overclaiming. *)
+val run : ?seed:int -> level -> subject -> verdict

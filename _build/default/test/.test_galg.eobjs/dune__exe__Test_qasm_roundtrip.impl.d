@@ -1,0 +1,1 @@
+test/test_qasm_roundtrip.ml: Alcotest Benchmarks Caqr Galg Hardware List Quantum Verify

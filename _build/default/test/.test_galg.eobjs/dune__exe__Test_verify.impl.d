@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Benchmarks Caqr Hardware List Printf Quantum Transpiler Verify

@@ -1,0 +1,345 @@
+(* Unit and property tests for the Verify translation-validation library:
+   the three checkers in isolation, an injected compiler bug that at
+   least two checkers must reject, and the suite-wide sweep asserting
+   every strategy's output verifies against the untransformed input. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let mumbai = Hardware.Device.mumbai
+let bv n = Benchmarks.Bv.circuit n
+
+let is_equivalent = Verify.Verdict.is_equivalent
+let is_inequivalent = Verify.Verdict.is_inequivalent
+
+let inconclusive = function Verify.Inconclusive _ -> true | _ -> false
+
+(* ------------------------------------------------------------- verdict *)
+
+let test_verdict_combine () =
+  let cex =
+    { Verify.Verdict.outcome = 0; p_left = 0.; p_right = 1.; detail = "x" }
+  in
+  check bool "empty is equivalent" true
+    (is_equivalent (Verify.Verdict.combine []));
+  check bool "inequivalent dominates" true
+    (is_inequivalent
+       (Verify.Verdict.combine
+          [ Verify.Equivalent; Verify.Inconclusive "n"; Verify.Inequivalent cex ]));
+  check bool "inconclusive beats equivalent" true
+    (inconclusive
+       (Verify.Verdict.combine [ Verify.Equivalent; Verify.Inconclusive "n" ]))
+
+(* --------------------------------------------------------------- equiv *)
+
+let test_equiv_reflexive () =
+  let c = bv 6 in
+  check bool "bv6 = bv6" true
+    (is_equivalent (Verify.Equiv.check ~original:c ~transformed:c ()))
+
+let test_equiv_accepts_reuse () =
+  let c = bv 8 in
+  let reused = Caqr.Qs_caqr.max_reuse c in
+  check bool "max-reuse bv8 is equivalent" true
+    (is_equivalent (Verify.Equiv.check ~original:c ~transformed:reused ()))
+
+let test_equiv_detects_flip () =
+  let c = bv 5 in
+  (* Flip one answer qubit right before its final measurement. *)
+  let broken =
+    Quantum.Circuit.of_kinds ~num_qubits:c.Quantum.Circuit.num_qubits
+      ~num_clbits:c.Quantum.Circuit.num_clbits
+      (Array.to_list (Array.map (fun g -> g.Quantum.Gate.kind) c.Quantum.Circuit.gates)
+      @ [ Quantum.Gate.One_q (Quantum.Gate.X, 0);
+          Quantum.Gate.Measure (0, 0) ])
+  in
+  check bool "flipped bit detected" true
+    (is_inequivalent (Verify.Equiv.check ~original:c ~transformed:broken ()))
+
+let test_equiv_budget () =
+  let c = (Benchmarks.Suite.find "Multiply_13").Benchmarks.Suite.circuit in
+  check bool "13 qubits exceed the exact budget" true
+    (inconclusive (Verify.Equiv.check ~original:c ~transformed:c ()))
+
+let test_equiv_elides_swaps () =
+  (* A routed artifact is wider than its logical source only through
+     SWAP traffic; elision must bring it back under the exact budget. *)
+  let c = bv 10 in
+  let physical = (Transpiler.Transpile.run mumbai c).Transpiler.Transpile.physical in
+  check bool "routed bv10 verifies exactly" true
+    (is_equivalent (Verify.Equiv.check ~original:c ~transformed:physical ()))
+
+(* --------------------------------------------------------------- probe *)
+
+let test_probe_accepts_reuse () =
+  let c = bv 10 in
+  let reused = Caqr.Qs_caqr.max_reuse c in
+  check bool "probes accept max-reuse bv10" true
+    (is_equivalent (Verify.Probe.check ~seed:3 ~original:c ~transformed:reused ()))
+
+let test_probe_detects_flip () =
+  let c = bv 10 in
+  let broken =
+    Quantum.Circuit.of_kinds ~num_qubits:c.Quantum.Circuit.num_qubits
+      ~num_clbits:c.Quantum.Circuit.num_clbits
+      (Array.to_list (Array.map (fun g -> g.Quantum.Gate.kind) c.Quantum.Circuit.gates)
+      @ [ Quantum.Gate.One_q (Quantum.Gate.X, 0);
+          Quantum.Gate.Measure (0, 0) ])
+  in
+  check bool "probes reject the flipped bit" true
+    (is_inequivalent (Verify.Probe.check ~seed:3 ~original:c ~transformed:broken ()))
+
+(* ---------------------------------------------------------- structural *)
+
+let test_structural_wellformed () =
+  check bool "bv8 is well-formed" true
+    (is_equivalent (Verify.Structural.check_wellformed (bv 8)))
+
+let test_structural_pairs_accept_compiler () =
+  let c = bv 8 in
+  match List.rev (Caqr.Qs_caqr.sweep c) with
+  | [] -> Alcotest.fail "empty sweep"
+  | last :: _ ->
+    let pairs =
+      List.map
+        (fun (p : Caqr.Reuse.pair) ->
+          { Verify.Structural.src = p.Caqr.Reuse.src; dst = p.Caqr.Reuse.dst })
+        last.Caqr.Qs_caqr.pairs
+    in
+    check bool "some pairs claimed" true (pairs <> []);
+    check bool "compiler pairs satisfy conditions 1-2" true
+      (is_equivalent (Verify.Structural.check_pairs ~original:c pairs))
+
+let test_structural_condition1 () =
+  let b = Quantum.Circuit.Builder.create ~num_qubits:2 ~num_clbits:2 in
+  Quantum.Circuit.Builder.cx b 0 1;
+  Quantum.Circuit.Builder.measure b 0 0;
+  Quantum.Circuit.Builder.measure b 1 1;
+  let c = Quantum.Circuit.Builder.build b in
+  check bool "coupled pair rejected" true
+    (is_inequivalent
+       (Verify.Structural.check_pairs ~original:c
+          [ { Verify.Structural.src = 0; dst = 1 } ]))
+
+let test_structural_condition2 () =
+  (* No gate couples q0 and q1, but CX(2,0) depends on CX(1,2) through
+     wire 2 — a gate on the src transitively depends on the dst. *)
+  let b = Quantum.Circuit.Builder.create ~num_qubits:3 ~num_clbits:3 in
+  Quantum.Circuit.Builder.cx b 1 2;
+  Quantum.Circuit.Builder.cx b 2 0;
+  Quantum.Circuit.Builder.measure b 0 0;
+  Quantum.Circuit.Builder.measure b 1 1;
+  let c = Quantum.Circuit.Builder.build b in
+  check bool "dependent pair rejected" true
+    (is_inequivalent
+       (Verify.Structural.check_pairs ~original:c
+          [ { Verify.Structural.src = 0; dst = 1 } ]))
+
+let test_structural_coupling () =
+  (* Find a non-adjacent qubit pair on Mumbai and put a CX on it. *)
+  let n = Hardware.Device.num_qubits mumbai in
+  let bad = ref None in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if !bad = None && not (Hardware.Device.adjacent mumbai a b) then
+        bad := Some (a, b)
+    done
+  done;
+  match !bad with
+  | None -> Alcotest.fail "mumbai is fully connected?"
+  | Some (a, b) ->
+    let ok = Quantum.Circuit.of_kinds ~num_qubits:n ~num_clbits:1 [] in
+    check bool "empty circuit is legal" true
+      (is_equivalent (Verify.Structural.check_coupling mumbai ok));
+    let ill =
+      Quantum.Circuit.of_kinds ~num_qubits:n ~num_clbits:1
+        [ Quantum.Gate.Cx (a, b) ]
+    in
+    check bool "uncoupled CX rejected" true
+      (is_inequivalent (Verify.Structural.check_coupling mumbai ill))
+
+let test_structural_accounting () =
+  let c = bv 5 in
+  let missing =
+    Quantum.Circuit.of_kinds ~num_qubits:c.Quantum.Circuit.num_qubits
+      ~num_clbits:c.Quantum.Circuit.num_clbits
+      (List.filter
+         (function Quantum.Gate.Measure (_, 0) -> false | _ -> true)
+         (Array.to_list
+            (Array.map (fun g -> g.Quantum.Gate.kind) c.Quantum.Circuit.gates)))
+  in
+  check bool "dropped measurement rejected" true
+    (is_inequivalent (Verify.Structural.check_accounting ~logical:c ~physical:missing))
+
+(* ------------------------------------------- injected transformation bug *)
+
+(* Swap the first measure/conditional-X block of a reuse-transformed
+   circuit, the classic broken-transform: the conditional reset fires
+   before the measurement writes its clbit. At least two independent
+   checkers must reject it. *)
+let swap_measure_init (c : Quantum.Circuit.t) =
+  let kinds = Array.map (fun g -> g.Quantum.Gate.kind) c.Quantum.Circuit.gates in
+  let swapped = ref false in
+  for i = 0 to Array.length kinds - 2 do
+    if not !swapped then
+      match (kinds.(i), kinds.(i + 1)) with
+      | Quantum.Gate.Measure (_, cb), Quantum.Gate.If_x (cb', _) when cb = cb' ->
+        let t = kinds.(i) in
+        kinds.(i) <- kinds.(i + 1);
+        kinds.(i + 1) <- t;
+        swapped := true
+      | _ -> ()
+  done;
+  if not !swapped then Alcotest.fail "no measure/if_x block to break";
+  Quantum.Circuit.of_kinds ~num_qubits:c.Quantum.Circuit.num_qubits
+    ~num_clbits:c.Quantum.Circuit.num_clbits (Array.to_list kinds)
+
+let test_injected_bug_rejected_twice () =
+  let original = bv 10 in
+  let broken = swap_measure_init (Caqr.Qs_caqr.max_reuse original) in
+  check bool "structural checker rejects the swapped block" true
+    (is_inequivalent (Verify.Structural.check_wellformed broken));
+  check bool "exact checker rejects the swapped block" true
+    (is_inequivalent (Verify.Equiv.check ~original ~transformed:broken ()))
+
+(* ------------------------------------------------- pipeline integration *)
+
+let strategies =
+  [
+    Caqr.Pipeline.Baseline;
+    Caqr.Pipeline.Qs_max_reuse;
+    Caqr.Pipeline.Qs_min_depth;
+    Caqr.Pipeline.Qs_best_fidelity;
+    Caqr.Pipeline.Qs_target 5;
+    Caqr.Pipeline.Sr;
+  ]
+
+let test_pipeline_verifies_all_strategies () =
+  let input = Caqr.Pipeline.Regular (bv 10) in
+  List.iter
+    (fun s ->
+      let r = Caqr.Pipeline.compile ~verify:Verify.Auto ~seed:5 mumbai s input in
+      match r.Caqr.Pipeline.verification with
+      | Some v ->
+        check bool
+          (Printf.sprintf "%s verifies on bv10" (Caqr.Pipeline.strategy_name s))
+          true (is_equivalent v)
+      | None -> Alcotest.fail "verification missing from the report")
+    strategies
+
+let test_pipeline_skips_verification_by_default () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Sr (Caqr.Pipeline.Regular (bv 6)) in
+  check bool "no verdict unless asked" true (r.Caqr.Pipeline.verification = None)
+
+(* ----------------------------------------------------------- suite sweep *)
+
+let input_of_entry (e : Benchmarks.Suite.entry) =
+  match e.Benchmarks.Suite.kind with
+  | Benchmarks.Suite.Regular -> Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+  | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+
+let sweep_strategies =
+  [ Caqr.Pipeline.Qs_max_reuse; Caqr.Pipeline.Qs_min_depth; Caqr.Pipeline.Sr ]
+
+let assert_strategies_verify ~level ~expect e =
+  List.iter
+    (fun s ->
+      let r =
+        Caqr.Pipeline.compile ~verify:level ~seed:11 mumbai s (input_of_entry e)
+      in
+      let name =
+        Printf.sprintf "%s / %s" e.Benchmarks.Suite.name
+          (Caqr.Pipeline.strategy_name s)
+      in
+      match r.Caqr.Pipeline.verification with
+      | Some v -> (
+        match expect with
+        | `Equivalent -> check bool name true (is_equivalent v)
+        | `Not_inequivalent -> check bool name false (is_inequivalent v))
+      | None -> Alcotest.fail (name ^ ": verification missing"))
+    sweep_strategies
+
+(* Entries inside the exact checker's budget get the complete argument;
+   wider ones fall back to seeded probes inside the Auto level. *)
+let test_suite_exact_entries () =
+  List.iter
+    (fun (e : Benchmarks.Suite.entry) ->
+      if e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits <= 12 then
+        assert_strategies_verify ~level:Verify.Auto ~expect:`Equivalent e)
+    (Benchmarks.Suite.table1 ())
+
+let test_suite_probe_entries () =
+  List.iter
+    (fun name ->
+      assert_strategies_verify ~level:Verify.Auto ~expect:`Equivalent
+        (Benchmarks.Suite.find name))
+    [ "Multiply_13"; "QAOA15-0.3" ]
+
+(* QAOA-20/25 are beyond what probes afford in a unit-test budget; the
+   structural pass must still accept them, and the semantic orchestrator
+   must degrade to Inconclusive rather than overclaim either way. *)
+let test_suite_wide_entries () =
+  assert_strategies_verify ~level:Verify.Static ~expect:`Equivalent
+    (Benchmarks.Suite.find "QAOA20-0.3");
+  assert_strategies_verify ~level:Verify.Static ~expect:`Equivalent
+    (Benchmarks.Suite.find "QAOA25-0.3")
+
+let test_qaoa25_never_inequivalent () =
+  let e = Benchmarks.Suite.find "QAOA25-0.3" in
+  let r =
+    Caqr.Pipeline.compile ~verify:Verify.Auto ~seed:11 mumbai
+      Caqr.Pipeline.Qs_min_depth (input_of_entry e)
+  in
+  match r.Caqr.Pipeline.verification with
+  | Some v -> check bool "qaoa25 degrades honestly" false (is_inequivalent v)
+  | None -> Alcotest.fail "verification missing"
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "verdict",
+        [ Alcotest.test_case "combine" `Quick test_verdict_combine ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "reflexive" `Quick test_equiv_reflexive;
+          Alcotest.test_case "accepts reuse" `Quick test_equiv_accepts_reuse;
+          Alcotest.test_case "detects flip" `Quick test_equiv_detects_flip;
+          Alcotest.test_case "budget" `Quick test_equiv_budget;
+          Alcotest.test_case "elides swaps" `Quick test_equiv_elides_swaps;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "accepts reuse" `Quick test_probe_accepts_reuse;
+          Alcotest.test_case "detects flip" `Quick test_probe_detects_flip;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "wellformed" `Quick test_structural_wellformed;
+          Alcotest.test_case "accepts compiler pairs" `Quick
+            test_structural_pairs_accept_compiler;
+          Alcotest.test_case "condition 1" `Quick test_structural_condition1;
+          Alcotest.test_case "condition 2" `Quick test_structural_condition2;
+          Alcotest.test_case "coupling" `Quick test_structural_coupling;
+          Alcotest.test_case "accounting" `Quick test_structural_accounting;
+        ] );
+      ( "injected-bug",
+        [
+          Alcotest.test_case "rejected by two checkers" `Quick
+            test_injected_bug_rejected_twice;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "all strategies verify" `Quick
+            test_pipeline_verifies_all_strategies;
+          Alcotest.test_case "off by default" `Quick
+            test_pipeline_skips_verification_by_default;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "exact entries" `Slow test_suite_exact_entries;
+          Alcotest.test_case "probe entries" `Slow test_suite_probe_entries;
+          Alcotest.test_case "wide entries" `Quick test_suite_wide_entries;
+          Alcotest.test_case "qaoa25 honest" `Quick
+            test_qaoa25_never_inequivalent;
+        ] );
+    ]

@@ -19,3 +19,12 @@ val peephole : Circuit.t -> Circuit.t
 
 (** Number of gates removed by [peephole]. *)
 val removed : Circuit.t -> int
+
+(** [elide_swaps circuit] removes every SWAP by relabeling all later
+    references to its two wires — the virtual-swap trick. The result has
+    the same outcome distribution over clbits (a SWAP only permutes
+    which wire carries which state) but wires that carried nothing but
+    routing traffic fall idle, so a routed circuit compacts back toward
+    its logical width. Meant for simulation and verification, not for
+    execution: the output ignores device connectivity. *)
+val elide_swaps : Circuit.t -> Circuit.t

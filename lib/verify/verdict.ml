@@ -1,0 +1,41 @@
+type counterexample = {
+  outcome : int;
+  p_left : float;
+  p_right : float;
+  detail : string;
+}
+
+type t =
+  | Equivalent
+  | Inequivalent of counterexample
+  | Inconclusive of string
+
+let violation detail =
+  Inequivalent { outcome = -1; p_left = 0.; p_right = 0.; detail }
+
+let violationf fmt = Printf.ksprintf violation fmt
+let inconclusivef fmt = Printf.ksprintf (fun s -> Inconclusive s) fmt
+let is_equivalent = function Equivalent -> true | _ -> false
+let is_inequivalent = function Inequivalent _ -> true | _ -> false
+
+let combine verdicts =
+  let ineq = List.find_opt is_inequivalent verdicts in
+  match ineq with
+  | Some v -> v
+  | None ->
+    (match
+       List.find_opt (function Inconclusive _ -> true | _ -> false) verdicts
+     with
+     | Some v -> v
+     | None -> Equivalent)
+
+let pp ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Inequivalent cx ->
+    if cx.outcome >= 0 then
+      Format.fprintf ppf "INEQUIVALENT: outcome %d has p=%.6f vs p=%.6f (%s)"
+        cx.outcome cx.p_left cx.p_right cx.detail
+    else Format.fprintf ppf "INEQUIVALENT: %s" cx.detail
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why
+
+let to_string v = Format.asprintf "%a" pp v

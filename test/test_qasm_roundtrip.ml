@@ -1,0 +1,71 @@
+(* QASM round-trip regression for reuse-transformed dynamic circuits:
+   printing and re-parsing must preserve the circuit's shape — gate
+   count, depth, and the mid-circuit measurements that reuse introduces
+   — so artifacts survive the trip to an external toolchain. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let mumbai = Hardware.Device.mumbai
+
+let roundtrip c = Quantum.Qasm_parser.of_string (Quantum.Qasm.to_string c)
+
+let assert_preserved name (c : Quantum.Circuit.t) =
+  let c' = roundtrip c in
+  check int (name ^ ": qubits") c.Quantum.Circuit.num_qubits
+    c'.Quantum.Circuit.num_qubits;
+  check int (name ^ ": clbits") c.Quantum.Circuit.num_clbits
+    c'.Quantum.Circuit.num_clbits;
+  check int (name ^ ": gate count") (Quantum.Circuit.gate_count c)
+    (Quantum.Circuit.gate_count c');
+  check int (name ^ ": depth") (Quantum.Circuit.depth c)
+    (Quantum.Circuit.depth c');
+  check int
+    (name ^ ": mid-circuit measurements")
+    (Quantum.Circuit.mid_circuit_measurements c)
+    (Quantum.Circuit.mid_circuit_measurements c')
+
+let reused name =
+  Caqr.Qs_caqr.max_reuse (Benchmarks.Suite.find name).Benchmarks.Suite.circuit
+
+let test_reused_regulars () =
+  List.iter
+    (fun name ->
+      let c = reused name in
+      check Alcotest.bool (name ^ " is dynamic") true
+        (Quantum.Circuit.mid_circuit_measurements c > 0);
+      assert_preserved name c)
+    [ "BV_10"; "CC_10"; "System_9"; "XOR_5" ]
+
+let test_reused_qaoa () =
+  let g = Galg.Gen.random ~seed:9 9 ~density:0.3 in
+  let c = Caqr.Commute.emit (Caqr.Commute.make g) in
+  assert_preserved "qaoa9 commuted" c
+
+let test_sr_physical () =
+  let c = (Benchmarks.Suite.find "BV_10").Benchmarks.Suite.circuit in
+  let physical = (Caqr.Sr_caqr.regular mumbai c).Caqr.Sr_caqr.physical in
+  let compacted, _ = Quantum.Circuit.compact_qubits physical in
+  assert_preserved "sr bv10 physical" compacted
+
+(* The trip must also preserve semantics, not just shape: the parsed
+   circuit still computes the BV secret exactly. *)
+let test_semantics_survive () =
+  let original = (Benchmarks.Suite.find "BV_10").Benchmarks.Suite.circuit in
+  let c = roundtrip (reused "BV_10") in
+  check Alcotest.bool "parsed circuit still equivalent" true
+    (Verify.Verdict.is_equivalent
+       (Verify.Equiv.check ~original ~transformed:c ()))
+
+let () =
+  Alcotest.run "qasm-roundtrip"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "reuse-transformed regulars" `Quick
+            test_reused_regulars;
+          Alcotest.test_case "commuted qaoa" `Quick test_reused_qaoa;
+          Alcotest.test_case "sr physical" `Quick test_sr_physical;
+          Alcotest.test_case "semantics survive" `Quick test_semantics_survive;
+        ] );
+    ]
