@@ -479,17 +479,19 @@ let ablation_search () =
     (fun name ->
       let c = (Benchmarks.Suite.find name).Benchmarks.Suite.circuit in
       let floor order =
+        let opts = { Caqr.Qs_caqr.default_opts with Caqr.Qs_caqr.order } in
         let rec go target =
           if target < 1 then target + 1
           else
-            match Caqr.Qs_caqr.search ~order ~target c with
+            match Caqr.Qs_caqr.search ~opts ~target c with
             | Some _ -> go (target - 1)
             | None -> target + 1
         in
         go (Caqr.Reuse.qubit_usage c - 1)
       in
-      Printf.printf "%-14s %-14d %-14d %-14d\n" name (floor `Score) (floor `Chain)
-        (floor `Both))
+      Printf.printf "%-14s %-14d %-14d %-14d\n" name
+        (floor Caqr.Qs_caqr.Score) (floor Caqr.Qs_caqr.Chain)
+        (floor Caqr.Qs_caqr.Both))
     [ "BV_10"; "CC_10"; "System_9"; "Multiply_13" ]
 
 (* How robust is the reuse advantage to the noise level? Sweep a global
@@ -564,7 +566,10 @@ let verify_exp () =
       in
       List.iter
         (fun (name, strategy) ->
-          let r = Caqr.Pipeline.compile ~verify:level ~seed:7 mumbai strategy input in
+          let options =
+            { Caqr.Pipeline.default with verify = Some level; seed = 7 }
+          in
+          let r = Caqr.Pipeline.compile ~options mumbai strategy input in
           let verdict =
             match r.Caqr.Pipeline.verification with
             | Some v -> v
@@ -577,6 +582,135 @@ let verify_exp () =
         strategies)
     (Benchmarks.Suite.table1 ());
   Printf.printf "\n=> inequivalent artifacts: %d (target 0)\n" !bad
+
+(* ----------------------------------------------------------------- perf *)
+
+(* The incremental analysis engine must reproduce the fresh engine's
+   sweep exactly while doing a fraction of the analysis work.  The
+   comparison runs both engines over every regular benchmark and writes
+   BENCH_caqr.json (schema caqr-bench/1) for CI to archive. *)
+
+type engine_run = {
+  er_steps : Caqr.Qs_caqr.step list;
+  er_wall_s : float;
+  er_analyze_s : float;
+  er_analyze_fresh : int;
+  er_analyze_incremental : int;
+  er_search_nodes : int;
+  er_cache_hits : int;
+  er_cache_misses : int;
+}
+
+(* Each engine runs three times and the timings keep the fastest
+   repetition: scheduler noise on a shared machine easily exceeds the
+   margin being measured, and the minimum is the usual robust estimator
+   for CPU-bound work. Steps and counters are deterministic, so they
+   come out identical in every repetition. *)
+let run_engine engine c =
+  let once () =
+    Obs.Metrics.reset ();
+    let steps =
+      Obs.Metrics.time "perf.wall" @@ fun () ->
+      Caqr.Qs_caqr.sweep
+        ~opts:{ Caqr.Qs_caqr.default_opts with Caqr.Qs_caqr.engine }
+        c
+    in
+    {
+      er_steps = steps;
+      er_wall_s = Obs.Metrics.timing "perf.wall";
+      er_analyze_s = Obs.Metrics.timing "time.analyze";
+      er_analyze_fresh = Obs.Metrics.count "reuse.analyze.fresh";
+      er_analyze_incremental = Obs.Metrics.count "reuse.analyze.incremental";
+      er_search_nodes = Obs.Metrics.count "qs.search.nodes";
+      er_cache_hits = Obs.Metrics.count "qs.cache.hit";
+      er_cache_misses = Obs.Metrics.count "qs.cache.miss";
+    }
+  in
+  let r = ref (once ()) in
+  for _ = 2 to 3 do
+    let n = once () in
+    r :=
+      {
+        n with
+        er_wall_s = Float.min !r.er_wall_s n.er_wall_s;
+        er_analyze_s = Float.min !r.er_analyze_s n.er_analyze_s;
+      }
+  done;
+  !r
+
+let engine_json b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"wall_s\":%.6f,\"analyze_s\":%.6f,\"analyze_fresh\":%d,\"analyze_incremental\":%d,\"search_nodes\":%d,\"cache_hits\":%d,\"cache_misses\":%d}"
+       r.er_wall_s r.er_analyze_s r.er_analyze_fresh r.er_analyze_incremental
+       r.er_search_nodes r.er_cache_hits r.er_cache_misses)
+
+let perf () =
+  section "perf" "incremental vs fresh analysis engine (BENCH_caqr.json)";
+  let ratio num den = num /. Float.max 1e-9 den in
+  Printf.printf "%-14s %-7s %-11s %-11s %-11s %-9s %s\n" "benchmark" "gates"
+    "inc wall(s)" "frs wall(s)" "work ratio" "speedup" "identical";
+  let rows =
+    List.map
+      (fun (e : Benchmarks.Suite.entry) ->
+        let c = e.Benchmarks.Suite.circuit in
+        let inc = run_engine Caqr.Qs_caqr.Incremental c in
+        let fresh = run_engine Caqr.Qs_caqr.Fresh c in
+        let identical = inc.er_steps = fresh.er_steps in
+        let work = ratio fresh.er_analyze_s inc.er_analyze_s in
+        let speedup = ratio fresh.er_wall_s inc.er_wall_s in
+        Printf.printf "%-14s %-7d %-11.4f %-11.4f %-11.2f %-9.2f %b\n%!"
+          e.Benchmarks.Suite.name
+          (Quantum.Circuit.gate_count c)
+          inc.er_wall_s fresh.er_wall_s work speedup identical;
+        (e, inc, fresh, identical, work, speedup))
+      (Benchmarks.Suite.regular ())
+  in
+  let largest =
+    List.fold_left
+      (fun acc ((e, _, _, _, _, _) as row) ->
+        match acc with
+        | Some ((b, _, _, _, _, _) : Benchmarks.Suite.entry * _ * _ * _ * _ * _)
+          when Quantum.Circuit.gate_count b.Benchmarks.Suite.circuit
+               >= Quantum.Circuit.gate_count e.Benchmarks.Suite.circuit ->
+          acc
+        | _ -> Some row)
+      None rows
+    |> Option.get
+  in
+  let le, _, _, _, lwork, lspeed = largest in
+  Printf.printf
+    "\n=> largest benchmark %s: %.1fx less analyze time, %.1fx wall speedup (target >= 3x)\n"
+    le.Benchmarks.Suite.name lwork lspeed;
+  let all_identical = List.for_all (fun (_, _, _, id, _, _) -> id) rows in
+  Printf.printf "=> engines agree on every sweep: %b\n" all_identical;
+  if not all_identical then incr structural_violations;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"caqr-bench/1\",\"suite\":[";
+  List.iteri
+    (fun i (e, inc, fresh, identical, work, speedup) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"benchmark\":%S,\"gates\":%d,\"incremental\":"
+           e.Benchmarks.Suite.name
+           (Quantum.Circuit.gate_count e.Benchmarks.Suite.circuit));
+      engine_json b inc;
+      Buffer.add_string b ",\"fresh\":";
+      engine_json b fresh;
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"identical_output\":%b,\"analyze_work_ratio\":%.3f,\"wall_speedup\":%.3f}"
+           identical work speedup))
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"headline\":{\"largest_benchmark\":%S,\"analyze_work_ratio\":%.3f,\"wall_speedup\":%.3f}}"
+       le.Benchmarks.Suite.name lwork lspeed);
+  Buffer.add_char b '\n';
+  let oc = open_out "BENCH_caqr.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "=> wrote BENCH_caqr.json\n"
 
 (* ----------------------------------------------------------------- main *)
 
@@ -598,6 +732,7 @@ let experiments =
     ("ablation:matching", ablation_matching);
     ("ablation:noise", ablation_noise);
     ("verify", verify_exp);
+    ("perf", perf);
     ("micro", micro);
   ]
 

@@ -84,6 +84,22 @@ let seed_flag =
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Random seed for simulation and verification probes.")
 
+let timings_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Collect pipeline metrics and print per-phase wall-clock timings \
+           and work counters after the result.")
+
+let options_for timings =
+  { Caqr.Pipeline.default with collect_metrics = timings }
+
+let print_metrics (r : Caqr.Pipeline.report) =
+  match r.Caqr.Pipeline.metrics with
+  | Some m -> Format.printf "%a@." Obs.Metrics.pp m
+  | None -> ()
+
 let level_arg =
   let parse s =
     match Verify.level_of_string s with
@@ -127,20 +143,24 @@ let list_cmd =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run entry strategy qasm =
+  let run entry strategy qasm timings =
     let device = device_for entry in
-    let r = Caqr.Pipeline.compile device strategy (input_of_entry entry) in
+    let r =
+      Caqr.Pipeline.compile ~options:(options_for timings) device strategy
+        (input_of_entry entry)
+    in
     Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@."
       entry.Benchmarks.Suite.name
       (Caqr.Pipeline.strategy_name strategy)
       Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+    print_metrics r;
     if qasm then
       print_string
         (Quantum.Qasm.to_string (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "compile" ~doc:"Compile a benchmark")
-    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ qasm_flag)
+    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ qasm_flag $ timings_flag)
 
 (* ---- sweep ---- *)
 
@@ -194,7 +214,7 @@ let qasmc_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some file) None & info [] ~docv:"FILE.qasm")
   in
-  let run path strategy qasm =
+  let run path strategy qasm timings =
     let text =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -210,10 +230,14 @@ let qasmc_cmd =
       let device =
         Hardware.Device.heavy_hex_for circuit.Quantum.Circuit.num_qubits
       in
-      let r = Caqr.Pipeline.compile device strategy (Caqr.Pipeline.Regular circuit) in
+      let r =
+        Caqr.Pipeline.compile ~options:(options_for timings) device strategy
+          (Caqr.Pipeline.Regular circuit)
+      in
       Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@." path
         (Caqr.Pipeline.strategy_name strategy)
         Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+      print_metrics r;
       if qasm then
         print_string
           (Quantum.Qasm.to_string
@@ -221,7 +245,7 @@ let qasmc_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "qasmc" ~doc:"Compile an OpenQASM file with CaQR")
-    Cmdliner.Term.(const run $ file_pos $ strategy_flag $ qasm_flag)
+    Cmdliner.Term.(const run $ file_pos $ strategy_flag $ qasm_flag $ timings_flag)
 
 (* ---- simulate ---- *)
 
@@ -249,13 +273,14 @@ let verify_cmd =
   let run entry level seed =
     let device = device_for entry in
     let input = input_of_entry entry in
+    let options = { Caqr.Pipeline.default with verify = Some level; seed } in
     Printf.printf "%s — translation validation (level %s, seed %d)\n"
       entry.Benchmarks.Suite.name (Verify.level_name level) seed;
     Printf.printf "%-18s %-8s %s\n" "strategy" "pairs" "verdict";
     let failed = ref false in
     List.iter
       (fun (name, strategy) ->
-        let r = Caqr.Pipeline.compile ~verify:level ~seed device strategy input in
+        let r = Caqr.Pipeline.compile ~options device strategy input in
         let verdict =
           match r.Caqr.Pipeline.verification with
           | Some v -> v

@@ -8,6 +8,21 @@ type strategy =
   | Qs_target of int
   | Sr
 
+type options = {
+  verify : Verify.level option;
+  seed : int;
+  collect_metrics : bool;
+  search : Qs_caqr.search_opts;
+}
+
+let default =
+  {
+    verify = None;
+    seed = 1;
+    collect_metrics = false;
+    search = Qs_caqr.default_opts;
+  }
+
 type report = {
   strategy : strategy;
   logical : Quantum.Circuit.t;
@@ -15,6 +30,7 @@ type report = {
   stats : Transpiler.Transpile.stats;
   reuse_pairs : int;
   verification : Verify.verdict option;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 let strategy_name = function
@@ -41,23 +57,24 @@ let finish device strategy logical reuse_pairs =
     stats = routed.Transpiler.Transpile.stats;
     reuse_pairs;
     verification = None;
+    metrics = None;
   }
 
 (* Reduction trajectories with the applied pairs kept — the pairs feed
    the structural translation validator. *)
-let qs_steps input =
+let qs_steps ~search input =
   match input with
   | Regular c ->
     List.map
       (fun (s : Qs_caqr.step) -> (s.Qs_caqr.circuit, s.Qs_caqr.pairs))
-      (Qs_caqr.sweep c)
+      (Qs_caqr.sweep ~opts:search c)
   | Commutable g ->
     List.map
       (fun (s : Commute.step) ->
         (Commute.emit s.Commute.plan, Commute.pairs s.Commute.plan))
       (Commute.sweep g)
 
-let compile_unverified device strategy input ~original =
+let compile_unverified ~search device strategy input ~original =
   match strategy with
   | Baseline -> (finish device strategy original 0, Some [])
   | Sr ->
@@ -73,6 +90,7 @@ let compile_unverified device strategy input ~original =
         stats = Transpiler.Transpile.stats_of device r.Sr_caqr.physical;
         reuse_pairs = r.Sr_caqr.reuses;
         verification = None;
+        metrics = None;
       },
       (* SR's lazy mapper reuses physical qubits as a side effect and
          never names logical pairs. *)
@@ -80,15 +98,17 @@ let compile_unverified device strategy input ~original =
   | Qs_max_reuse ->
     (match input with
      | Regular c ->
-       let target = Qs_caqr.min_qubits c in
+       let target = Qs_caqr.min_qubits ~opts:search c in
        let reused, pairs =
-         match Qs_caqr.search ~target c with Some r -> r | None -> (c, [])
+         match Qs_caqr.search ~opts:search ~target c with
+         | Some r -> r
+         | None -> (c, [])
        in
        ( finish device strategy reused
            (Quantum.Circuit.mid_circuit_measurements reused),
          Some pairs )
      | Commutable _ ->
-       (match List.rev (qs_steps input) with
+       (match List.rev (qs_steps ~search input) with
         | (c, pairs) :: _ ->
           (finish device strategy c (List.length pairs), Some pairs)
         | [] -> invalid_arg "Pipeline.compile: empty sweep"))
@@ -97,7 +117,7 @@ let compile_unverified device strategy input ~original =
       List.map
         (fun (c, pairs) ->
           (finish device strategy c (List.length pairs), Some pairs))
-        (qs_steps input)
+        (qs_steps ~search input)
     in
     (match
        List.sort
@@ -114,7 +134,7 @@ let compile_unverified device strategy input ~original =
       List.map
         (fun (c, pairs) ->
           (finish device strategy c (List.length pairs), Some pairs))
-        (qs_steps input)
+        (qs_steps ~search input)
     in
     (match
        List.sort
@@ -129,11 +149,11 @@ let compile_unverified device strategy input ~original =
   | Qs_target target ->
     let found =
       match input with
-      | Regular c -> Qs_caqr.search ~target c
+      | Regular c -> Qs_caqr.search ~opts:search ~target c
       | Commutable _ ->
         List.find_opt
           (fun (c, _) -> Reuse.qubit_usage c <= target)
-          (qs_steps input)
+          (qs_steps ~search input)
     in
     (match found with
      | Some (c, pairs) ->
@@ -142,28 +162,40 @@ let compile_unverified device strategy input ~original =
        failwith
          (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
 
-let compile ?verify ?(seed = 1) device strategy input =
+let compile ?(options = default) device strategy input =
+  if options.collect_metrics then Obs.Metrics.reset ();
   let original = logical_of_input input in
-  let report, pairs = compile_unverified device strategy input ~original in
-  match verify with
-  | None -> report
-  | Some level ->
-    let subject =
-      {
-        Verify.original;
-        logical = report.logical;
-        physical = report.physical;
-        device;
-        pairs =
-          Option.map
-            (List.map (fun (p : Reuse.pair) ->
-                 { Verify.Structural.src = p.Reuse.src; dst = p.Reuse.dst }))
-            pairs;
-        commutable =
-          (match input with Commutable g -> Some g | Regular _ -> None);
-      }
-    in
-    { report with verification = Some (Verify.run ~seed level subject) }
+  let report, pairs =
+    compile_unverified ~search:options.search device strategy input ~original
+  in
+  let report =
+    match options.verify with
+    | None -> report
+    | Some level ->
+      let subject =
+        {
+          Verify.original;
+          logical = report.logical;
+          physical = report.physical;
+          device;
+          pairs =
+            Option.map
+              (List.map (fun (p : Reuse.pair) ->
+                   { Verify.Structural.src = p.Reuse.src; dst = p.Reuse.dst }))
+              pairs;
+          commutable =
+            (match input with Commutable g -> Some g | Regular _ -> None);
+        }
+      in
+      { report with
+        verification = Some (Verify.run ~seed:options.seed level subject) }
+  in
+  if options.collect_metrics then
+    { report with metrics = Some (Obs.Metrics.snapshot ()) }
+  else report
+
+let compile_legacy ?verify ?(seed = 1) device strategy input =
+  compile ~options:{ default with verify; seed } device strategy input
 
 let beneficial device input =
   match input with

@@ -18,6 +18,21 @@ type strategy =
   | Qs_target of int  (** QS-CaQR at a user qubit budget *)
   | Sr  (** SR-CaQR lazy mapping *)
 
+(** Compilation options, replacing the optional-argument list that
+    [compile] used to grow. Build variations with functional update:
+    [{ Pipeline.default with verify = Some Verify.Auto }]. *)
+type options = {
+  verify : Verify.level option;
+      (** translation-validate the artifact at this level *)
+  seed : int;  (** drives the verification probes (default 1) *)
+  collect_metrics : bool;
+      (** reset {!Obs.Metrics} before compiling and attach a snapshot to
+          the report *)
+  search : Qs_caqr.search_opts;  (** QS-CaQR search configuration *)
+}
+
+val default : options
+
 type report = {
   strategy : strategy;
   logical : Quantum.Circuit.t;  (** after reuse transformation *)
@@ -27,24 +42,38 @@ type report = {
   verification : Verify.verdict option;
       (** translation-validation verdict, present when [compile] was
           asked to verify *)
+  metrics : Obs.Metrics.snapshot option;
+      (** counters and per-phase wall times, present when
+          [options.collect_metrics] was set *)
 }
 
-(** [compile ?verify ?seed device strategy input]. [Qs_target] raises
+(** [compile ?options device strategy input]. [Qs_target] raises
     [Failure] when the budget is unreachable.
 
-    With [?verify], the compiled artifact is independently validated at
-    the requested {!Verify.level} (structural reuse conditions, device
-    legality, and — at semantic levels — exact or probe-based
-    distribution equivalence against the untransformed input); the
-    verdict lands in [report.verification]. [seed] (default 1) drives the
-    probe checker so verification is reproducible. *)
+    With [options.verify], the compiled artifact is independently
+    validated at the requested {!Verify.level} (structural reuse
+    conditions, device legality, and — at semantic levels — exact or
+    probe-based distribution equivalence against the untransformed
+    input); the verdict lands in [report.verification]. [options.seed]
+    drives the probe checker so verification is reproducible. *)
 val compile :
+  ?options:options ->
+  Hardware.Device.t ->
+  strategy ->
+  input ->
+  report
+
+(** The pre-[options] signature, kept as a thin wrapper for one
+    deprecation cycle. *)
+val compile_legacy :
   ?verify:Verify.level ->
   ?seed:int ->
   Hardware.Device.t ->
   strategy ->
   input ->
   report
+[@@ocaml.deprecated
+  "build a Pipeline.options record and call Pipeline.compile instead"]
 
 (** The paper's applicability test: does reuse help this input at all?
     Returns a human-readable verdict along with the boolean. *)

@@ -1,4 +1,16 @@
 type objective = Depth | Duration
+type order = Score | Chain | Both
+type engine = Incremental | Fresh
+
+type search_opts = {
+  objective : objective;
+  budget : int;
+  order : order;
+  engine : engine;
+}
+
+let default_opts =
+  { objective = Depth; budget = 400; order = Both; engine = Incremental }
 
 type step = {
   usage : int;
@@ -32,8 +44,8 @@ let best_pair objective circuit =
     None candidates
   |> Option.map (fun (pair, _, _) -> pair)
 
-let reduce_once ?(objective = Depth) circuit =
-  match best_pair objective circuit with
+let reduce_once ?(opts = default_opts) circuit =
+  match best_pair opts.objective circuit with
   | None -> None
   | Some pair -> Some (pair, Reuse.apply circuit pair)
 
@@ -54,22 +66,101 @@ let make_step circuit pairs =
    when a hard qubit target must be reached. Candidates are still tried
    best-score-first, so the first solution found is the greedy one
    whenever greedy succeeds. *)
-(* Candidate orderings for the backtracking search. [`Score] is the
-   greedy objective order; [`Chain] reuses the earliest-finishing wire
+(* Candidate orderings for the backtracking search. [Score] is the
+   greedy objective order; [Chain] reuses the earliest-finishing wire
    first, which builds serial chains (the paper's Fig. 1 construction)
    and keeps merge options open for deep reductions. *)
 let ordered_candidates order objective analysis =
   let key p =
     match order with
-    | `Score -> (score objective analysis p, 0)
-    | `Chain ->
+    | Score | Both -> (score objective analysis p, 0)
+    | Chain ->
       (Reuse.src_finish_depth analysis p, Reuse.dst_start_depth analysis p)
   in
   List.sort
     (fun a b -> compare (key a) (key b))
     (Reuse.valid_pairs analysis)
 
-let search_with order objective budget target circuit =
+(* ---- The memoizing incremental engine ----
+
+   One cache outlives every search of a sweep: DFS prefixes are keyed by
+   the applied-pair sequence, so when the sweep restarts the search for a
+   deeper qubit target, the shared prefix (the greedy spine plus every
+   backtracked branch already explored) replays from the cache instead of
+   re-deriving analyses and re-sorting candidates. *)
+type cache = {
+  analyses : (string, Reuse.analysis) Hashtbl.t;
+  candidates : (string, Reuse.pair list) Hashtbl.t;
+}
+
+(* Caps the tables on degenerate inputs (enormous sweeps); entries past
+   the cap are simply recomputed on demand. *)
+let cache_capacity = 20_000
+
+let new_cache () =
+  { analyses = Hashtbl.create 256; candidates = Hashtbl.create 256 }
+
+let key_of_rev_pairs rev_pairs =
+  String.concat ";"
+    (List.rev_map
+       (fun (p : Reuse.pair) -> Printf.sprintf "%d>%d" p.Reuse.src p.Reuse.dst)
+       rev_pairs)
+
+let cached tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+    Obs.Metrics.incr "qs.cache.hit";
+    v
+  | None ->
+    Obs.Metrics.incr "qs.cache.miss";
+    let v = compute () in
+    if Hashtbl.length tbl < cache_capacity then Hashtbl.add tbl key v;
+    v
+
+let root_analysis cache circuit =
+  cached cache.analyses "" (fun () -> Reuse.analyze circuit)
+
+let child_analysis cache parent pair rev_pairs =
+  cached cache.analyses (key_of_rev_pairs rev_pairs) (fun () ->
+      Reuse.apply_incremental parent pair)
+
+let candidates_for cache order objective analysis rev_pairs =
+  let tag = match order with Score | Both -> "s" | Chain -> "c" in
+  let obj = match objective with Depth -> "d" | Duration -> "t" in
+  let key = tag ^ obj ^ "|" ^ key_of_rev_pairs rev_pairs in
+  cached cache.candidates key (fun () ->
+      ordered_candidates order objective analysis)
+
+let search_incremental ~cache order objective budget target circuit =
+  let nodes = ref 0 in
+  let rec go analysis rev_pairs =
+    if Reuse.usage analysis <= target then
+      Some (Reuse.circuit analysis, List.rev rev_pairs)
+    else if !nodes > budget then None
+    else begin
+      let rec attempt = function
+        | [] -> None
+        | p :: rest ->
+          incr nodes;
+          Obs.Metrics.incr "qs.search.nodes";
+          if !nodes > budget then None
+          else begin
+            let rev_pairs' = p :: rev_pairs in
+            let child = child_analysis cache analysis p rev_pairs' in
+            match go child rev_pairs' with
+            | Some r -> Some r
+            | None -> attempt rest
+          end
+      in
+      attempt (candidates_for cache order objective analysis rev_pairs)
+    end
+  in
+  go (root_analysis cache circuit) []
+
+(* Reference engine: rebuild circuit + closure from scratch at every DFS
+   node, exactly as the pre-incremental implementation did. Kept for
+   differential testing and for the perf baseline in bench/main.ml. *)
+let search_fresh order objective budget target circuit =
   let nodes = ref 0 in
   let rec go circuit pairs =
     if Reuse.qubit_usage circuit <= target then Some (circuit, List.rev pairs)
@@ -80,6 +171,7 @@ let search_with order objective budget target circuit =
         | [] -> None
         | p :: rest ->
           incr nodes;
+          Obs.Metrics.incr "qs.search.nodes";
           if !nodes > budget then None
           else begin
             match go (Reuse.apply circuit p) (p :: pairs) with
@@ -92,28 +184,39 @@ let search_with order objective budget target circuit =
   in
   go circuit []
 
-let search ?(objective = Depth) ?(budget = 400) ?(order = `Both) ~target circuit
-    =
-  match order with
-  | `Score -> search_with `Score objective budget target circuit
-  | `Chain -> search_with `Chain objective budget target circuit
-  | `Both -> (
-    match search_with `Score objective budget target circuit with
+let search_with ~cache opts order target circuit =
+  match opts.engine with
+  | Incremental ->
+    search_incremental ~cache order opts.objective opts.budget target circuit
+  | Fresh -> search_fresh order opts.objective opts.budget target circuit
+
+let search_in ~cache opts target circuit =
+  Obs.Metrics.incr "qs.searches";
+  Obs.Metrics.time "time.search" @@ fun () ->
+  match opts.order with
+  | (Score | Chain) as order -> search_with ~cache opts order target circuit
+  | Both -> (
+    match search_with ~cache opts Score target circuit with
     | Some r -> Some r
-    | None -> search_with `Chain objective budget target circuit)
+    | None -> search_with ~cache opts Chain target circuit)
+
+let search ?(opts = default_opts) ~target circuit =
+  search_in ~cache:(new_cache ()) opts target circuit
 
 (* The tradeoff sweep re-searches from the original circuit for every
    qubit limit (the paper: "for each application, we tried different qubit
    limit numbers, and generate different compiled circuits"). A fresh
    search per target avoids greedy dead ends polluting deeper points:
    reaching k - 1 always passes through some k-qubit circuit, so the sweep
-   stops at the first unreachable target. *)
-let sweep ?(objective = Depth) ?(stop_at = 1) circuit =
+   stops at the first unreachable target. The searches share one memo
+   cache, so each restart replays its predecessor's prefix for free. *)
+let sweep ?(opts = default_opts) ?(stop_at = 1) circuit =
+  let cache = new_cache () in
   let base = make_step circuit [] in
   let rec go target acc =
     if target < stop_at then List.rev acc
     else
-      match search ~objective ~target circuit with
+      match search_in ~cache opts target circuit with
       | Some (c, pairs) ->
         let step = make_step c pairs in
         go (step.usage - 1) (step :: acc)
@@ -121,16 +224,16 @@ let sweep ?(objective = Depth) ?(stop_at = 1) circuit =
   in
   go (base.usage - 1) [ base ]
 
-let reduce_to ?(objective = Depth) ~target circuit =
-  Option.map fst (search ~objective ~target circuit)
+let reduce_to ?(opts = default_opts) ~target circuit =
+  Option.map fst (search ~opts ~target circuit)
 
-let min_qubits ?(objective = Depth) circuit =
-  match List.rev (sweep ~objective circuit) with
+let min_qubits ?(opts = default_opts) circuit =
+  match List.rev (sweep ~opts circuit) with
   | last :: _ -> last.usage
   | [] -> Reuse.qubit_usage circuit
 
-let max_reuse ?(objective = Depth) circuit =
-  match reduce_to ~objective ~target:(min_qubits ~objective circuit) circuit with
+let max_reuse ?(opts = default_opts) circuit =
+  match reduce_to ~opts ~target:(min_qubits ~opts circuit) circuit with
   | Some c -> c
   | None -> circuit
 

@@ -5,9 +5,40 @@
     smallest, until the user's budget is met or no valid pair remains.
     A full sweep keeps every intermediate version so callers can pick the
     maximal-reuse or minimal-depth point (Table 1) or plot the
-    qubit-vs-depth tradeoff (Figs. 3, 13, 14). *)
+    qubit-vs-depth tradeoff (Figs. 3, 13, 14).
+
+    Every entry point takes one {!search_opts} value, so a sweep, a
+    targeted search, and a reduction query can share a configuration. *)
 
 type objective = Depth | Duration
+
+(** Candidate ordering for the backtracking search. [Score] is pure
+    greedy on the objective; [Chain] pairs the earliest-finishing wire
+    with the earliest-starting qubit (the paper's Fig. 1 serial
+    construction); [Both] falls back from the first to the second —
+    exposed separately so the ablation bench can compare them. *)
+type order = Score | Chain | Both
+
+(** Which analysis engine drives the search. [Incremental] (the default)
+    derives each DFS child's analysis from its parent via
+    {!Reuse.apply_incremental} and memoizes per-prefix candidate
+    orderings across a sweep's restarted searches. [Fresh] rebuilds the
+    circuit and the O(n^2) closure at every node — the pre-incremental
+    behavior, kept for differential testing and as the perf baseline.
+    Both produce identical results (regression-tested). *)
+type engine = Incremental | Fresh
+
+(** One options value shared by {!search}, {!sweep}, {!reduce_to},
+    {!min_qubits}, {!max_reuse} and {!reduce_once}. Build variations with
+    functional update: [{ default_opts with objective = Duration }]. *)
+type search_opts = {
+  objective : objective;
+  budget : int;  (** DFS node budget per search (default 400) *)
+  order : order;
+  engine : engine;
+}
+
+val default_opts : search_opts
 
 (** One point of the reduction sweep. *)
 type step = {
@@ -18,44 +49,38 @@ type step = {
   logical_duration : int;
 }
 
-(** [reduce_once ?objective circuit] applies the best single reuse, or
-    [None] when no valid pair exists. *)
+(** [reduce_once ?opts circuit] applies the best single reuse, or [None]
+    when no valid pair exists. Only [opts.objective] is consulted. *)
 val reduce_once :
-  ?objective:objective -> Quantum.Circuit.t -> (Reuse.pair * Quantum.Circuit.t) option
+  ?opts:search_opts -> Quantum.Circuit.t -> (Reuse.pair * Quantum.Circuit.t) option
 
-(** [sweep ?objective ?stop_at circuit] returns the full reduction
-    trajectory, starting with the untouched circuit and ending at
-    [stop_at] (default: as low as possible). *)
-val sweep : ?objective:objective -> ?stop_at:int -> Quantum.Circuit.t -> step list
+(** [sweep ?opts ?stop_at circuit] returns the full reduction trajectory,
+    starting with the untouched circuit and ending at [stop_at] (default:
+    as low as possible). The per-target searches share one memo cache, so
+    each restart replays the previously explored prefix from cache. *)
+val sweep : ?opts:search_opts -> ?stop_at:int -> Quantum.Circuit.t -> step list
 
-(** [search ?objective ?budget ~target circuit] finds a reuse sequence
-    reaching [target] qubits, trying candidates best-score-first with
-    budgeted DFS backtracking — greedy alone can trap itself (two parallel
-    chains interleaved on a shared partner can never merge later). Returns
-    the transformed circuit and the applied pairs.
-    [order] restricts the candidate ordering: [`Score] is pure greedy on
-    the objective, [`Chain] pairs the earliest-finishing wire with the
-    earliest-starting qubit (the Fig. 1 serial construction), [`Both]
-    (default) falls back from the first to the second — exposed
-    separately so the ablation bench can compare them. *)
+(** [search ?opts ~target circuit] finds a reuse sequence reaching
+    [target] qubits, trying candidates best-score-first with budgeted DFS
+    backtracking — greedy alone can trap itself (two parallel chains
+    interleaved on a shared partner can never merge later). Returns the
+    transformed circuit and the applied pairs. *)
 val search :
-  ?objective:objective ->
-  ?budget:int ->
-  ?order:[ `Score | `Chain | `Both ] ->
+  ?opts:search_opts ->
   target:int ->
   Quantum.Circuit.t ->
   (Quantum.Circuit.t * Reuse.pair list) option
 
-(** [reduce_to ?objective ~target circuit] answers the paper's user query:
+(** [reduce_to ?opts ~target circuit] answers the paper's user query:
     "can this circuit run on [target] qubits?" — [Some circuit'] or [None]. *)
 val reduce_to :
-  ?objective:objective -> target:int -> Quantum.Circuit.t -> Quantum.Circuit.t option
+  ?opts:search_opts -> target:int -> Quantum.Circuit.t -> Quantum.Circuit.t option
 
 (** Fewest qubits reachable (greedy tightened by backtracking search). *)
-val min_qubits : ?objective:objective -> Quantum.Circuit.t -> int
+val min_qubits : ?opts:search_opts -> Quantum.Circuit.t -> int
 
 (** The maximal-reuse version of the circuit ([min_qubits] wires). *)
-val max_reuse : ?objective:objective -> Quantum.Circuit.t -> Quantum.Circuit.t
+val max_reuse : ?opts:search_opts -> Quantum.Circuit.t -> Quantum.Circuit.t
 
 (** Is there any reuse opportunity at all? (The paper's applicability
     test: tools report "no benefit" when this is [None].) *)

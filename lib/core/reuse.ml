@@ -3,9 +3,18 @@ type pair = { src : int; dst : int }
 type analysis = {
   circuit : Quantum.Circuit.t;
   dag : Quantum.Dag.t;
-  reach : Quantum.Reachability.t;
+  (* qreach.(a).(b): some gate on qubit a reaches (reflexively) some gate
+     on qubit b. This qubit-level projection of the O(n^2) gate closure is
+     all Condition 2 ever consults, and — unlike the gate-level closure —
+     it admits an exact O(k^2) update under a reuse application. *)
+  qreach : bool array array;
   inter : Galg.Graph.t;
   active : bool array;
+  (* Does the circuit contain barrier pseudo-gates? Barriers chain on
+     their wires without appearing in [active]/[inter]/[on_qubit], so the
+     incremental algebra cannot track them; their presence forces
+     {!apply_incremental} onto the fresh-rebuild path. *)
+  barriers : bool;
   (* earliest finish / longest tail per gate, in unit depth and in dt *)
   ef_depth : int array;
   tail_depth : int array;
@@ -16,54 +25,64 @@ type analysis = {
   model : Quantum.Duration.t;
 }
 
-let forward_times dag weight =
+(* Earliest-finish and longest-tail schedules in unit depth and in dt,
+   one forward and one backward sweep over the DAG for both weightings. *)
+let schedules circuit dag model =
+  let gates = circuit.Quantum.Circuit.gates in
   let n = Quantum.Dag.num_nodes dag in
-  let finish = Array.make n 0 in
-  let total = ref 0 in
+  let wd i =
+    if Quantum.Gate.is_barrier gates.(i).Quantum.Gate.kind then 0 else 1
+  in
+  let wu i = Quantum.Duration.of_kind model gates.(i).Quantum.Gate.kind in
+  let ef_depth = Array.make n 0 and ef_dur = Array.make n 0 in
+  let cp_depth = ref 0 and cp_dur = ref 0 in
+  (* unboxed accumulator loops: this runs once per search node, so the
+     per-node ref cells and iterator closures show up in profiles *)
+  let rec fwd sd su = function
+    | [] -> (sd, su)
+    | p :: tl ->
+      fwd
+        (if ef_depth.(p) > sd then ef_depth.(p) else sd)
+        (if ef_dur.(p) > su then ef_dur.(p) else su)
+        tl
+  in
   for i = 0 to n - 1 do
-    let start =
-      List.fold_left (fun acc p -> max acc finish.(p)) 0 (Quantum.Dag.preds dag i)
-    in
-    finish.(i) <- start + weight i;
-    if finish.(i) > !total then total := finish.(i)
+    let sd, su = fwd 0 0 (Quantum.Dag.preds dag i) in
+    ef_depth.(i) <- sd + wd i;
+    ef_dur.(i) <- su + wu i;
+    if ef_depth.(i) > !cp_depth then cp_depth := ef_depth.(i);
+    if ef_dur.(i) > !cp_dur then cp_dur := ef_dur.(i)
   done;
-  (finish, !total)
-
-let backward_times dag weight =
-  let n = Quantum.Dag.num_nodes dag in
-  (* tail.(i): longest weighted path starting at (and including) gate i *)
-  let tail = Array.make n 0 in
+  let tail_depth = Array.make n 0 and tail_dur = Array.make n 0 in
+  let rec bwd sd su = function
+    | [] -> (sd, su)
+    | s :: tl ->
+      bwd
+        (if tail_depth.(s) > sd then tail_depth.(s) else sd)
+        (if tail_dur.(s) > su then tail_dur.(s) else su)
+        tl
+  in
   for i = n - 1 downto 0 do
-    let after =
-      List.fold_left (fun acc s -> max acc tail.(s)) 0 (Quantum.Dag.succs dag i)
-    in
-    tail.(i) <- after + weight i
+    let sd, su = bwd 0 0 (Quantum.Dag.succs dag i) in
+    tail_depth.(i) <- sd + wd i;
+    tail_dur.(i) <- su + wu i
   done;
-  tail
+  (ef_depth, ef_dur, tail_depth, tail_dur, !cp_depth, !cp_dur)
 
-let analyze circuit =
-  let dag = Quantum.Dag.build circuit in
+(* Assemble an analysis from its precomputed set-level parts plus the
+   O(n+e) schedules, shared by the fresh and incremental constructions. *)
+let finish_analysis circuit dag qreach ~inter ~active ~barriers =
   let model = Quantum.Duration.default in
-  let weight_depth i =
-    if Quantum.Gate.is_barrier circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind
-    then 0
-    else 1
+  let ef_depth, ef_dur, tail_depth, tail_dur, cp_depth, cp_dur =
+    schedules circuit dag model
   in
-  let weight_dur i =
-    Quantum.Duration.of_kind model circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind
-  in
-  let ef_depth, cp_depth = forward_times dag weight_depth in
-  let ef_dur, cp_dur = forward_times dag weight_dur in
-  let tail_depth = backward_times dag weight_depth in
-  let tail_dur = backward_times dag weight_dur in
-  let active = Array.make circuit.Quantum.Circuit.num_qubits false in
-  List.iter (fun q -> active.(q) <- true) (Quantum.Circuit.active_qubits circuit);
   {
     circuit;
     dag;
-    reach = Quantum.Reachability.build dag;
-    inter = Quantum.Circuit.interaction_graph circuit;
+    qreach;
+    inter;
     active;
+    barriers;
     ef_depth;
     tail_depth;
     ef_dur;
@@ -73,14 +92,35 @@ let analyze circuit =
     model;
   }
 
+let analyze circuit =
+  Obs.Metrics.incr "reuse.analyze.fresh";
+  Obs.Metrics.time "time.analyze" @@ fun () ->
+  let dag = Quantum.Dag.build circuit in
+  let reach = Quantum.Reachability.build dag in
+  let k = circuit.Quantum.Circuit.num_qubits in
+  let qreach = Array.make_matrix k k false in
+  for a = 0 to k - 1 do
+    let a_gates = Quantum.Dag.gates_on_qubit dag a in
+    for b = 0 to k - 1 do
+      qreach.(a).(b) <-
+        Quantum.Reachability.any_path reach a_gates
+          (Quantum.Dag.gates_on_qubit dag b)
+    done
+  done;
+  let active = Array.make k false in
+  List.iter (fun q -> active.(q) <- true) (Quantum.Circuit.active_qubits circuit);
+  finish_analysis circuit dag qreach
+    ~inter:(Quantum.Circuit.interaction_graph circuit)
+    ~active
+    ~barriers:
+      (Array.exists
+         (fun g -> Quantum.Gate.is_barrier g.Quantum.Gate.kind)
+         circuit.Quantum.Circuit.gates)
+
 let condition1 a { src; dst } = not (Galg.Graph.has_edge a.inter src dst)
 
-let condition2 a { src; dst } =
-  (* No gate on dst may reach a gate on src. *)
-  not
-    (Quantum.Reachability.any_path a.reach
-       (Quantum.Dag.gates_on_qubit a.dag dst)
-       (Quantum.Dag.gates_on_qubit a.dag src))
+(* No gate on dst may reach a gate on src. *)
+let condition2 a { src; dst } = not a.qreach.(dst).(src)
 
 let valid a ({ src; dst } as p) =
   src <> dst
@@ -147,10 +187,20 @@ let predict_duration ?model a p =
   in
   predict ~ef:a.ef_dur ~tail:a.tail_dur ~cp:a.cp_dur ~reset_cost a p
 
+(* An emitted transform, together with the relabelling data the
+   incremental engine needs to derive the child DAG without rebuilding:
+   where each parent gate landed, and where the reset splice landed. *)
+type emission = {
+  em_circuit : Quantum.Circuit.t;
+  em_pos : int array;      (* parent gate id -> id in the emitted circuit *)
+  em_measure : int option; (* spliced measure's id, when a clbit was added *)
+  em_if_x : int;           (* conditional X's id *)
+}
+
 (* Kahn topological emission with min-gate-id priority, honoring the extra
    [src gates -> reset node -> dst gates] constraints. *)
-let apply (circuit : Quantum.Circuit.t) ({ src; dst } as p) =
-  let a = analyze circuit in
+let emit (a : analysis) ({ src; dst } as p) =
+  let circuit = a.circuit in
   if not (valid a p) then invalid_arg "Reuse.apply: invalid pair";
   let n = Quantum.Dag.num_nodes a.dag in
   let dummy = n in
@@ -194,6 +244,10 @@ let apply (circuit : Quantum.Circuit.t) ({ src; dst } as p) =
   let rename q = if q = dst then src else q in
   let rev_kinds = ref [] in
   let emitted = ref 0 in
+  let pos = Array.make n (-1) in
+  let measure_id = ref None in
+  let if_x_id = ref (-1) in
+  let next = ref 0 in
   while not (Iset.is_empty !ready) do
     let i = Iset.min_elt !ready in
     ready := Iset.remove i !ready;
@@ -202,12 +256,18 @@ let apply (circuit : Quantum.Circuit.t) ({ src; dst } as p) =
       (match existing_clbit with
        | Some _ -> ()
        | None ->
-         rev_kinds := Quantum.Gate.Measure (src, reset_clbit) :: !rev_kinds);
-      rev_kinds := Quantum.Gate.If_x (reset_clbit, src) :: !rev_kinds
+         rev_kinds := Quantum.Gate.Measure (src, reset_clbit) :: !rev_kinds;
+         measure_id := Some !next;
+         incr next);
+      rev_kinds := Quantum.Gate.If_x (reset_clbit, src) :: !rev_kinds;
+      if_x_id := !next;
+      incr next
     end
     else begin
       let kind = circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind in
-      rev_kinds := Quantum.Gate.map_qubits rename kind :: !rev_kinds
+      rev_kinds := Quantum.Gate.map_qubits rename kind :: !rev_kinds;
+      pos.(i) <- !next;
+      incr next
     end;
     List.iter
       (fun j ->
@@ -217,8 +277,154 @@ let apply (circuit : Quantum.Circuit.t) ({ src; dst } as p) =
   done;
   if !emitted <> n + 1 then
     invalid_arg "Reuse.apply: reuse would create a dependence cycle";
-  Quantum.Circuit.of_kinds ~num_qubits:circuit.Quantum.Circuit.num_qubits
-    ~num_clbits
-    (List.rev !rev_kinds)
+  {
+    em_circuit =
+      Quantum.Circuit.of_kinds ~num_qubits:circuit.Quantum.Circuit.num_qubits
+        ~num_clbits
+        (List.rev !rev_kinds);
+    em_pos = pos;
+    em_measure = !measure_id;
+    em_if_x = !if_x_id;
+  }
+
+let apply_circuit a p = (emit a p).em_circuit
+let apply circuit p = apply_circuit (analyze circuit) p
+
+(* Chain DAG of an emitted circuit, derived from the parent's without a
+   rebuild: emission preserves each wire's (and clbit's) gate order, so
+   every parent chain edge relabels through [em_pos], and the only new
+   edges are the reset splice's on wire src. Exact only when the splice
+   is local (see {!splice_is_local}) — callers must check first. *)
+let derived_dag (a : analysis) ~src ~dst em =
+  let n = Quantum.Dag.num_nodes a.dag in
+  let pos = em.em_pos in
+  let m = Array.length em.em_circuit.Quantum.Circuit.gates in
+  let preds = Array.make m [] and succs = Array.make m [] in
+  let add u v =
+    preds.(v) <- u :: preds.(v);
+    succs.(u) <- v :: succs.(u)
+  in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> add pos.(i) pos.(j)) (Quantum.Dag.succs a.dag i)
+  done;
+  let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
+  let d_gates = Quantum.Dag.gates_on_qubit a.dag dst in
+  let last_s = pos.(List.fold_left max (-1) s_gates) in
+  let first_d = pos.(List.hd d_gates) in
+  (match em.em_measure with
+   | Some d1 ->
+     add last_s d1;
+     add d1 em.em_if_x
+   | None -> add last_s em.em_if_x);
+  add em.em_if_x first_d;
+  let k = em.em_circuit.Quantum.Circuit.num_qubits in
+  let on_qubit = Array.make (max 1 k) [] in
+  for q = 0 to k - 1 do
+    if q <> src && q <> dst then
+      on_qubit.(q) <-
+        List.map (fun g -> pos.(g)) (Quantum.Dag.gates_on_qubit a.dag q)
+  done;
+  on_qubit.(src) <-
+    List.map (fun g -> pos.(g)) s_gates
+    @ (match em.em_measure with Some d1 -> [ d1 ] | None -> [])
+    @ em.em_if_x :: List.map (fun g -> pos.(g)) d_gates;
+  Quantum.Dag.of_parts em.em_circuit ~preds ~succs ~on_qubit
+
+(* The incremental algebra models the reset splice as a single node wired
+   only to src's and dst's gates. That is the whole story exactly when
+   the circuit has no barriers (they chain on wires without appearing in
+   the analysis sets) and, if the reset reuses src's final-measure
+   clbit, no other gate touches that clbit (a shared clbit would chain
+   the conditional X against gates the algebra cannot see). *)
+let splice_is_local a src =
+  (not a.barriers)
+  &&
+  match List.rev (Quantum.Dag.gates_on_qubit a.dag src) with
+  | [] -> true
+  | last :: _ -> (
+    match a.circuit.Quantum.Circuit.gates.(last).Quantum.Gate.kind with
+    | Quantum.Gate.Measure (_, c) ->
+      let users = ref 0 in
+      Array.iter
+        (fun g ->
+          if List.mem c (Quantum.Gate.clbits g.Quantum.Gate.kind) then
+            incr users)
+        a.circuit.Quantum.Circuit.gates;
+      !users = 1
+    | _ -> true)
+
+(* The incremental engine. The reset node D sits (transitively) after
+   every src gate and before every dst gate, and — when the splice is
+   local — it is the only new dependence, so the new gate-level closure
+   is
+
+     reach'(g, h) = reach(g, h) \/ (reach(g, D) /\ reach(D, h))
+
+   where reach(g, D) iff g reaches some src gate and reach(D, h) iff some
+   dst gate reaches h. Projected to qubits:
+
+     R'(a, b) = R(a, b) \/ (R(a, src) /\ R(dst, b)).
+
+   Rewiring dst's gates onto src then merges dst's row and column into
+   src's; dst keeps no gates, so its row and column go empty — exactly
+   what a fresh projection of the transformed circuit yields.
+
+   The interaction graph updates the same way: the reset adds no
+   two-qubit gate, and Condition 1 guarantees no gate couples src with
+   dst, so renaming dst to src in the edge set is exact (no self-loops
+   can appear). The active set just retires dst, and the chain DAG is
+   relabelled via {!derived_dag}. Only the O(n+e) schedules are
+   recomputed. When the splice is not local the whole derivation falls
+   back to a fresh analysis of the transformed circuit.
+
+   [time.analyze] covers the analysis derivation only — the circuit
+   emission is transform work that {!apply} does not time either, so the
+   timer draws the same boundary for both engines. *)
+let apply_incremental a ({ src; dst } as p) =
+  if not (splice_is_local a src) then
+    analyze (apply_circuit a p)
+  else begin
+    Obs.Metrics.incr "reuse.analyze.incremental";
+    let em = emit a p in
+    Obs.Metrics.time "time.analyze" @@ fun () ->
+    let dag = derived_dag a ~src ~dst em in
+    let k = Array.length a.active in
+    let q = Array.make_matrix k k false in
+    for x = 0 to k - 1 do
+      let row = a.qreach.(x) and out = q.(x) in
+      let via_d = row.(src) in
+      let d_row = a.qreach.(dst) in
+      for y = 0 to k - 1 do
+        out.(y) <- row.(y) || (via_d && d_row.(y))
+      done
+    done;
+    for y = 0 to k - 1 do
+      q.(src).(y) <- q.(src).(y) || q.(dst).(y)
+    done;
+    for x = 0 to k - 1 do
+      q.(x).(src) <- q.(x).(src) || q.(x).(dst)
+    done;
+    for i = 0 to k - 1 do
+      q.(dst).(i) <- false;
+      q.(i).(dst) <- false
+    done;
+    let rename q = if q = dst then src else q in
+    let inter =
+      Galg.Graph.of_edges k
+        (List.rev_map
+           (fun (u, v) -> (rename u, rename v))
+           (Galg.Graph.edges a.inter))
+    in
+    let active = Array.copy a.active in
+    active.(dst) <- false;
+    (* the fast path is only taken on barrier-free circuits, and the
+       emission adds no barriers *)
+    finish_analysis em.em_circuit dag q ~inter ~active ~barriers:false
+  end
+
+let circuit a = a.circuit
+
+let usage a =
+  Array.fold_left (fun n active -> if active then n + 1 else n) 0 a.active
 
 let qubit_usage circuit = List.length (Quantum.Circuit.active_qubits circuit)

@@ -11,10 +11,20 @@
 
 type pair = { src : int; dst : int }
 
-(** Everything the analyses need, built once per circuit. *)
+(** Everything the analyses need. Built from scratch by {!analyze} —
+    paying the paper's §3.4 O(n^2) dependence-closure cost once — or
+    derived from a previous analysis by {!apply_incremental}, which
+    updates the closure in O(k^2) for k qubits instead of rebuilding it. *)
 type analysis
 
 val analyze : Quantum.Circuit.t -> analysis
+
+(** The circuit an analysis describes. *)
+val circuit : analysis -> Quantum.Circuit.t
+
+(** Number of active qubits, read off the analysis. Equals
+    [qubit_usage (circuit a)]. *)
+val usage : analysis -> int
 
 (** Condition 1 for a pair. *)
 val condition1 : analysis -> pair -> bool
@@ -54,6 +64,21 @@ val dst_start_depth : analysis -> pair -> int
     Fig. 2 (b)). The [dst] wire is left empty; callers compact when done.
     Raises [Invalid_argument] on an invalid pair. *)
 val apply : Quantum.Circuit.t -> pair -> Quantum.Circuit.t
+
+(** [apply_incremental analysis pair] is the analysis of
+    [apply (circuit analysis) pair], but derived incrementally: the reset
+    node is the only new dependence, so the qubit-level closure update is
+
+    [R'(a,b) = R(a,b) or (R(a,src) and R(dst,b))]
+
+    followed by merging [dst]'s row and column into [src]'s — O(k^2)
+    instead of the O(n^2) gate-closure rebuild. The linear-cost parts
+    (DAG, depth/duration schedules, interaction graph) are recomputed
+    exactly, so the result is observably identical to a fresh {!analyze}
+    of the transformed circuit (property-tested in
+    [test/test_incremental.ml]). Raises [Invalid_argument] on an invalid
+    pair. *)
+val apply_incremental : analysis -> pair -> analysis
 
 (** Number of active qubits (the "qubit usage" the paper reports). *)
 val qubit_usage : Quantum.Circuit.t -> int

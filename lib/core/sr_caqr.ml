@@ -71,6 +71,7 @@ let place st l ph =
   if st.p2l.(ph) >= 0 then invalid_arg "Sr_caqr.place: occupied";
   if st.used_before.(ph) then begin
     st.reuses <- st.reuses + 1;
+    Obs.Metrics.incr "sr.reuses";
     if st.last_clbit.(ph) >= 0 then B.if_x st.out st.last_clbit.(ph) ph
     else begin
       B.measure st.out ph st.scratch.(ph);
@@ -315,6 +316,7 @@ let insert_swap st i =
        st.last_clbit.(p) <- -1;
        st.last_clbit.(n) <- -1;
        st.swaps <- st.swaps + 1;
+       Obs.Metrics.incr "sr.swaps";
        st.last_swap <- (p, n);
        (* Update occupancy. *)
        let lp = st.p2l.(p) and ln = st.p2l.(n) in
@@ -326,6 +328,8 @@ let insert_swap st i =
   | _ -> invalid_arg "Sr_caqr.insert_swap: not a 2-qubit gate"
 
 let run st =
+  Obs.Metrics.incr "sr.runs";
+  Obs.Metrics.time "time.sr" @@ fun () ->
   let guard = ref 0 in
   let max_iters = (Quantum.Dag.num_nodes st.dag * 50) + 1000 in
   while st.frontier <> [] do

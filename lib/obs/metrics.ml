@@ -1,0 +1,59 @@
+(* Process-global counter / timer registry. Single-threaded by design,
+   like the rest of the compiler: no locking. *)
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let timers : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset timers
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add counters name (ref by)
+
+let count name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let add_time name dt =
+  let dt = if dt < 0. then 0. else dt in
+  match Hashtbl.find_opt timers name with
+  | Some r -> r := !r +. dt
+  | None -> Hashtbl.add timers name (ref dt)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
+
+let timing name =
+  match Hashtbl.find_opt timers name with Some r -> !r | None -> 0.
+
+type snapshot = {
+  counters : (string * int) list;
+  timings : (string * float) list;
+}
+
+let snapshot () =
+  let dump tbl read = Hashtbl.fold (fun k r acc -> (k, read r) :: acc) tbl [] in
+  {
+    counters = List.sort compare (dump counters ( ! ));
+    timings = List.sort compare (dump timers ( ! ));
+  }
+
+let pp ppf s =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-28s %12d@." k v)
+    s.counters;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-28s %12.3f ms@." k (1000. *. v))
+    s.timings
+
+(* The keys are dot-separated identifiers and never need escaping; a
+   hand-rolled printer keeps the library dependency-free. *)
+let to_json s =
+  let field f (k, v) = Printf.sprintf "%S:%s" k (f v) in
+  let obj f kvs = "{" ^ String.concat "," (List.map (field f) kvs) ^ "}" in
+  Printf.sprintf {|{"counters":%s,"timings_s":%s}|}
+    (obj string_of_int s.counters)
+    (obj (Printf.sprintf "%.6f") s.timings)

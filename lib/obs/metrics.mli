@@ -1,0 +1,49 @@
+(** Pipeline-wide observability: named counters and wall-clock phase
+    timers, kept in a single process-global registry.
+
+    The compiler passes are instrumented unconditionally — a counter bump
+    is two hash lookups — so callers decide only when to {!reset} and when
+    to {!snapshot}. [Pipeline.compile] does both when asked to collect
+    metrics; `caqr_cli --timings` and `bench/main.exe` print or serialize
+    the snapshot.
+
+    Conventions: counter keys are dot-separated (["reuse.analyze.fresh"],
+    ["qs.search.nodes"], ["qs.cache.hit"]); timer keys start with ["time."]
+    (["time.analyze"], ["time.search"], ["time.route"], ["time.verify"]).
+    Phase timers may nest (the search timer includes analyze time), so the
+    timings are a profile, not a partition. *)
+
+(** Reset every counter and timer to zero. *)
+val reset : unit -> unit
+
+(** [incr ?by name] bumps counter [name] (default [by = 1]). *)
+val incr : ?by:int -> string -> unit
+
+(** Current value of a counter (0 when never bumped). *)
+val count : string -> int
+
+(** [add_time name seconds] accumulates into timer [name]; negative deltas
+    (non-monotonic clock steps) are clamped to zero. *)
+val add_time : string -> float -> unit
+
+(** [time name f] runs [f ()] and adds its wall-clock duration to timer
+    [name], exceptions included. *)
+val time : string -> (unit -> 'a) -> 'a
+
+(** Accumulated seconds of a timer (0 when never used). *)
+val timing : string -> float
+
+(** Immutable view of the registry, sorted by key. *)
+type snapshot = {
+  counters : (string * int) list;
+  timings : (string * float) list;  (** seconds *)
+}
+
+val snapshot : unit -> snapshot
+
+(** Human-readable table (counters, then timings in ms). *)
+val pp : Format.formatter -> snapshot -> unit
+
+(** Machine-readable rendering:
+    [{"counters":{...},"timings_s":{...}}]. *)
+val to_json : snapshot -> string

@@ -47,6 +47,7 @@ let build (c : Circuit.t) =
   let on_qubit = Array.map List.rev on_qubit in
   { circuit = c; preds; succs; on_qubit }
 
+let of_parts circuit ~preds ~succs ~on_qubit = { circuit; preds; succs; on_qubit }
 let circuit t = t.circuit
 let num_nodes t = Array.length t.preds
 let preds t i = t.preds.(i)

@@ -8,6 +8,18 @@
 type t
 
 val build : Circuit.t -> t
+
+(** [of_parts circuit ~preds ~succs ~on_qubit] assembles a DAG from
+    precomputed adjacency, for callers that can derive it cheaper than
+    {!build} (e.g. by relabelling a parent DAG). The arrays must describe
+    exactly what [build circuit] would produce, up to neighbour-list
+    order; this is not checked. *)
+val of_parts :
+  Circuit.t ->
+  preds:int list array ->
+  succs:int list array ->
+  on_qubit:int list array ->
+  t
 val circuit : t -> Circuit.t
 val num_nodes : t -> int
 val preds : t -> int -> int list

@@ -54,6 +54,8 @@ let stats_of device physical =
   }
 
 let run device circuit =
+  Obs.Metrics.incr "transpile.runs";
+  Obs.Metrics.time "time.route" @@ fun () ->
   (* Qiskit-O3-style gate-level cleanup before routing. *)
   let circuit = Quantum.Optimize.peephole circuit in
   let layout = Layout.initial device circuit in

@@ -76,6 +76,8 @@ let structural_verdict subject =
     ]
 
 let run ?(seed = 1) level subject =
+  Obs.Metrics.incr "verify.runs";
+  Obs.Metrics.time "time.verify" @@ fun () ->
   let structural = structural_verdict subject in
   if Verdict.is_inequivalent structural || level = Static then structural
   else begin

@@ -83,8 +83,9 @@ let test_reduce_to_semantics () =
 
 let test_max_reuse_objectives () =
   let c = Benchmarks.Revlib.cc 8 in
-  let by_depth = Caqr.Qs_caqr.max_reuse ~objective:Caqr.Qs_caqr.Depth c in
-  let by_duration = Caqr.Qs_caqr.max_reuse ~objective:Caqr.Qs_caqr.Duration c in
+  let opts obj = { Caqr.Qs_caqr.default_opts with Caqr.Qs_caqr.objective = obj } in
+  let by_depth = Caqr.Qs_caqr.max_reuse ~opts:(opts Caqr.Qs_caqr.Depth) c in
+  let by_duration = Caqr.Qs_caqr.max_reuse ~opts:(opts Caqr.Qs_caqr.Duration) c in
   check bool "both reduce" true
     (Caqr.Reuse.qubit_usage by_depth < 8 && Caqr.Reuse.qubit_usage by_duration < 8)
 

@@ -218,7 +218,10 @@ let test_pipeline_verifies_all_strategies () =
   let input = Caqr.Pipeline.Regular (bv 10) in
   List.iter
     (fun s ->
-      let r = Caqr.Pipeline.compile ~verify:Verify.Auto ~seed:5 mumbai s input in
+      let options =
+        { Caqr.Pipeline.default with verify = Some Verify.Auto; seed = 5 }
+      in
+      let r = Caqr.Pipeline.compile ~options mumbai s input in
       match r.Caqr.Pipeline.verification with
       | Some v ->
         check bool
@@ -230,6 +233,25 @@ let test_pipeline_verifies_all_strategies () =
 let test_pipeline_skips_verification_by_default () =
   let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Sr (Caqr.Pipeline.Regular (bv 6)) in
   check bool "no verdict unless asked" true (r.Caqr.Pipeline.verification = None)
+
+(* The deprecated optional-argument shim must behave exactly like an
+   options record carrying the same fields. *)
+let test_compile_legacy_matches_options () =
+  let input = Caqr.Pipeline.Regular (bv 6) in
+  let r_new =
+    Caqr.Pipeline.compile
+      ~options:
+        { Caqr.Pipeline.default with verify = Some Verify.Static; seed = 3 }
+      mumbai Caqr.Pipeline.Sr input
+  in
+  let[@alert "-deprecated"] [@warning "-3"] r_old =
+    Caqr.Pipeline.compile_legacy ~verify:Verify.Static ~seed:3 mumbai
+      Caqr.Pipeline.Sr input
+  in
+  check bool "same physical circuit" true
+    (r_old.Caqr.Pipeline.physical = r_new.Caqr.Pipeline.physical);
+  check bool "same verdict" true
+    (r_old.Caqr.Pipeline.verification = r_new.Caqr.Pipeline.verification)
 
 (* ----------------------------------------------------------- suite sweep *)
 
@@ -244,9 +266,10 @@ let sweep_strategies =
 let assert_strategies_verify ~level ~expect e =
   List.iter
     (fun s ->
-      let r =
-        Caqr.Pipeline.compile ~verify:level ~seed:11 mumbai s (input_of_entry e)
+      let options =
+        { Caqr.Pipeline.default with verify = Some level; seed = 11 }
       in
+      let r = Caqr.Pipeline.compile ~options mumbai s (input_of_entry e) in
       let name =
         Printf.sprintf "%s / %s" e.Benchmarks.Suite.name
           (Caqr.Pipeline.strategy_name s)
@@ -287,8 +310,9 @@ let test_suite_wide_entries () =
 let test_qaoa25_never_inequivalent () =
   let e = Benchmarks.Suite.find "QAOA25-0.3" in
   let r =
-    Caqr.Pipeline.compile ~verify:Verify.Auto ~seed:11 mumbai
-      Caqr.Pipeline.Qs_min_depth (input_of_entry e)
+    Caqr.Pipeline.compile
+      ~options:{ Caqr.Pipeline.default with verify = Some Verify.Auto; seed = 11 }
+      mumbai Caqr.Pipeline.Qs_min_depth (input_of_entry e)
   in
   match r.Caqr.Pipeline.verification with
   | Some v -> check bool "qaoa25 degrades honestly" false (is_inequivalent v)
@@ -333,6 +357,8 @@ let () =
             test_pipeline_verifies_all_strategies;
           Alcotest.test_case "off by default" `Quick
             test_pipeline_skips_verification_by_default;
+          Alcotest.test_case "legacy wrapper agrees" `Quick
+            test_compile_legacy_matches_options;
         ] );
       ( "suite",
         [
