@@ -6,7 +6,8 @@
      sweep    <bench>          print the qubit/depth tradeoff table
      check    <bench>          reuse applicability verdict
      simulate <bench>          compile and run (optionally noisy) simulation
-     verify   <bench>          translation-validate every strategy's output *)
+     verify   <bench>          translation-validate every strategy's output
+     fuzz                      differential fuzzing with replayable seeds *)
 
 let all_strategies =
   [
@@ -302,6 +303,90 @@ let verify_cmd =
           each output; exits non-zero if any verdict is inequivalent")
     Cmdliner.Term.(const run $ bench_pos $ level_flag $ seed_flag)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let cases_flag =
+    Cmdliner.Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"K" ~doc:"Number of random circuits to check.")
+  in
+  let fuzz_seed_flag =
+    Cmdliner.Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed. The whole case stream is a pure function of it: \
+             the same seed replays the same circuits and verdicts.")
+  in
+  let max_qubits_flag =
+    Cmdliner.Arg.(
+      value & opt int Fuzz.Gen.default.Fuzz.Gen.max_qubits
+      & info [ "max-qubits" ] ~docv:"N" ~doc:"Widest generated circuit.")
+  in
+  let max_gates_flag =
+    Cmdliner.Arg.(
+      value & opt int Fuzz.Gen.default.Fuzz.Gen.max_gates
+      & info [ "max-gates" ] ~docv:"N" ~doc:"Longest generated circuit.")
+  in
+  let oracle_arg =
+    let parse s =
+      match Fuzz.Oracle.of_name s with
+      | Ok o -> Ok o
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf o = Format.pp_print_string ppf (Fuzz.Oracle.name o) in
+    Cmdliner.Arg.conv (parse, print)
+  in
+  let oracles_flag =
+    Cmdliner.Arg.(
+      value & opt_all oracle_arg []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Restrict to one oracle (repeatable): engines, verified, \
+             roundtrip, simulation. Default: all of them.")
+  in
+  let corpus_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) (Some Fuzz.Corpus.default_dir)
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory for minimized counterexamples and their manifest.")
+  in
+  let no_corpus_flag =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "no-corpus" ] ~doc:"Do not persist counterexamples.")
+  in
+  let run seed cases max_qubits max_gates oracles corpus no_corpus timings =
+    if timings then Obs.Metrics.reset ();
+    let config =
+      {
+        Fuzz.Gen.default with
+        Fuzz.Gen.max_qubits = max max_qubits Fuzz.Gen.default.Fuzz.Gen.min_qubits;
+        max_gates = max max_gates Fuzz.Gen.default.Fuzz.Gen.min_gates;
+      }
+    in
+    let oracles = if oracles = [] then Fuzz.Oracle.all else oracles in
+    let corpus_dir = if no_corpus then None else corpus in
+    let summary =
+      Fuzz.Driver.run ~config ~oracles ?corpus_dir ~seed ~cases ()
+    in
+    Format.printf "%a" Fuzz.Driver.pp_summary summary;
+    if timings then Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+    if summary.Fuzz.Driver.failures <> [] then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random dynamic circuits, run the \
+          oracle battery, minimize and persist any counterexample; exits \
+          non-zero on any oracle violation")
+    Cmdliner.Term.(
+      const run $ fuzz_seed_flag $ cases_flag $ max_qubits_flag
+      $ max_gates_flag $ oracles_flag $ corpus_flag $ no_corpus_flag
+      $ timings_flag)
+
 let () =
   let info =
     Cmdliner.Cmd.info "caqr_cli" ~version:"1.0.0"
@@ -310,4 +395,4 @@ let () =
   exit
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
-          [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd ]))
+          [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd ]))

@@ -1,0 +1,8 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[6] q;
+bit[6] c;
+swap q[3], q[1];
+sdg q[2];
+barrier q[0], q[1], q[4], q[5];
+tdg q[4];

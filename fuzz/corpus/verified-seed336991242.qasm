@@ -1,0 +1,7 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[4] q;
+bit[5] c;
+barrier q[0], q[1], q[2];
+cz q[3], q[2];
+swap q[3], q[1];

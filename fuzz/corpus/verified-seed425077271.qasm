@@ -1,0 +1,5 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[3] q;
+bit[6] c;
+barrier q[0], q[1], q[2];

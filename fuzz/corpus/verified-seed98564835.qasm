@@ -1,0 +1,7 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[4] q;
+bit[6] c;
+reset q[3];
+barrier q[0], q[1], q[2], q[3];
+y q[2];

@@ -23,6 +23,10 @@ type analysis = {
   cp_depth : int;
   cp_dur : int;
   model : Quantum.Duration.t;
+  (* Gates touching each clbit, for the reset splice's sole-user test.
+     Lazy: predictions consult it on every candidate pair, but only wires
+     ending in a measurement ever force it. *)
+  clbit_users : int array Lazy.t;
 }
 
 (* Earliest-finish and longest-tail schedules in unit depth and in dt,
@@ -90,6 +94,16 @@ let finish_analysis circuit dag qreach ~inter ~active ~barriers =
     cp_depth;
     cp_dur;
     model;
+    clbit_users =
+      lazy
+        (let users = Array.make circuit.Quantum.Circuit.num_clbits 0 in
+         Array.iter
+           (fun g ->
+             List.iter
+               (fun c -> users.(c) <- users.(c) + 1)
+               (Quantum.Gate.clbits g.Quantum.Gate.kind))
+           circuit.Quantum.Circuit.gates;
+         users);
   }
 
 let analyze circuit =
@@ -144,16 +158,23 @@ let valid_pairs a =
   done;
   !acc
 
-(* Does the wire already end in a measurement? Then the reset is a single
-   conditional X driven by that clbit; otherwise a fresh measure + X pair
-   is spliced in. *)
-let src_ends_measured a src =
+(* When the wire already ends in a measurement, the reset can be a single
+   conditional X driven by that measure's clbit — but only if that measure
+   is the clbit's sole user. Emission orders the splice after every src
+   gate and before every dst gate and nothing else, so another writer of a
+   shared clbit can land between the measure and the conditional X, which
+   would then read the wrong value. With no reusable clbit a fresh
+   measure + X pair is spliced onto a fresh clbit instead. *)
+let reusable_final_clbit a src =
   match List.rev (Quantum.Dag.gates_on_qubit a.dag src) with
+  | [] -> None
   | last :: _ ->
     (match a.circuit.Quantum.Circuit.gates.(last).Quantum.Gate.kind with
-     | Quantum.Gate.Measure _ -> true
-     | _ -> false)
-  | [] -> false
+     | Quantum.Gate.Measure (_, c) ->
+       if (Lazy.force a.clbit_users).(c) = 1 then Some c else None
+     | _ -> None)
+
+let src_ends_measured a src = reusable_final_clbit a src <> None
 
 let predict ~ef ~tail ~cp ~reset_cost a { src; dst } =
   let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
@@ -206,14 +227,9 @@ let emit (a : analysis) ({ src; dst } as p) =
   let dummy = n in
   let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
   let d_gates = Quantum.Dag.gates_on_qubit a.dag dst in
-  (* Does src already end in a measurement? Then its clbit drives the
-     conditional reset and no new measure (or clbit) is needed. *)
-  let last_src = List.fold_left max (-1) s_gates in
-  let existing_clbit =
-    match circuit.Quantum.Circuit.gates.(last_src).Quantum.Gate.kind with
-    | Quantum.Gate.Measure (_, c) -> Some c
-    | _ -> None
-  in
+  (* Does src end in a measurement whose clbit the reset may safely
+     drive? Then no new measure (or clbit) is needed. *)
+  let existing_clbit = reusable_final_clbit a src in
   let num_clbits =
     match existing_clbit with
     | Some _ -> circuit.Quantum.Circuit.num_clbits
@@ -328,30 +344,20 @@ let derived_dag (a : analysis) ~src ~dst em =
     List.map (fun g -> pos.(g)) s_gates
     @ (match em.em_measure with Some d1 -> [ d1 ] | None -> [])
     @ em.em_if_x :: List.map (fun g -> pos.(g)) d_gates;
-  Quantum.Dag.of_parts em.em_circuit ~preds ~succs ~on_qubit
+  (* [~check:false]: this is the per-apply hot path of the incremental
+     engine, and its analyses are cross-validated byte-for-byte against
+     fresh ones by the property suites and the fuzz [engines] oracle, so
+     the deep shape checks would only re-verify what those already pin. *)
+  Quantum.Dag.of_parts ~check:false em.em_circuit ~preds ~succs ~on_qubit
 
-(* The incremental algebra models the reset splice as a single node wired
-   only to src's and dst's gates. That is the whole story exactly when
-   the circuit has no barriers (they chain on wires without appearing in
-   the analysis sets) and, if the reset reuses src's final-measure
-   clbit, no other gate touches that clbit (a shared clbit would chain
-   the conditional X against gates the algebra cannot see). *)
-let splice_is_local a src =
-  (not a.barriers)
-  &&
-  match List.rev (Quantum.Dag.gates_on_qubit a.dag src) with
-  | [] -> true
-  | last :: _ -> (
-    match a.circuit.Quantum.Circuit.gates.(last).Quantum.Gate.kind with
-    | Quantum.Gate.Measure (_, c) ->
-      let users = ref 0 in
-      Array.iter
-        (fun g ->
-          if List.mem c (Quantum.Gate.clbits g.Quantum.Gate.kind) then
-            incr users)
-        a.circuit.Quantum.Circuit.gates;
-      !users = 1
-    | _ -> true)
+(* The incremental algebra models the reset splice as nodes wired only to
+   src's and dst's gates. That is the whole story exactly when the
+   circuit has no barriers (they chain on wires without appearing in the
+   analysis sets). Clbits no longer threaten locality: the reset only
+   reuses src's final-measure clbit when that measure is its sole user
+   (see {!reusable_final_clbit}), and otherwise the splice runs on a
+   fresh clbit nothing else touches. *)
+let splice_is_local a _src = not a.barriers
 
 (* The incremental engine. The reset node D sits (transitively) after
    every src gate and before every dst gate, and — when the splice is
@@ -408,13 +414,11 @@ let apply_incremental a ({ src; dst } as p) =
       q.(dst).(i) <- false;
       q.(i).(dst) <- false
     done;
-    let rename q = if q = dst then src else q in
-    let inter =
-      Galg.Graph.of_edges k
-        (List.rev_map
-           (fun (u, v) -> (rename u, rename v))
-           (Galg.Graph.edges a.inter))
-    in
+    (* Renaming dst to src in the edge set is exactly a contraction of
+       the pair (paper Fig. 5): O(deg dst) set updates on a copy instead
+       of reifying and rebuilding the whole edge list. *)
+    let inter = Galg.Graph.copy a.inter in
+    Galg.Graph.contract inter src dst;
     let active = Array.copy a.active in
     active.(dst) <- false;
     (* the fast path is only taken on barrier-free circuits, and the

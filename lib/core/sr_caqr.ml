@@ -170,7 +170,10 @@ let map_gate_qubits st i =
     end
     else if not ma then map_near st a st.l2p.(b)
     else if not mb then map_near st b st.l2p.(a)
-  | _ -> ()
+  | qs ->
+    (* Barriers span any number of wires; each unmapped operand still
+       needs a home or the gate never becomes executable. *)
+    List.iter (fun q -> if st.l2p.(q) < 0 then map_fresh st q) qs
 
 let complete st i =
   List.iter

@@ -1,0 +1,71 @@
+type entry = { file : string; seed : int; oracle : Oracle.t; note : string }
+
+let default_dir = Filename.concat "fuzz" "corpus"
+let manifest_name = "manifest.tsv"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then []
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "" && l.[0] <> '#')
+    |> List.map (fun line ->
+           match String.split_on_char '\t' line with
+           | file :: seed :: oracle :: note ->
+             let seed =
+               match int_of_string_opt seed with
+               | Some s -> s
+               | None -> failwith ("Corpus.load: bad seed in line: " ^ line)
+             in
+             let oracle =
+               match Oracle.of_name oracle with
+               | Ok o -> o
+               | Error msg -> failwith ("Corpus.load: " ^ msg)
+             in
+             { file; seed; oracle; note = String.concat "\t" note }
+           | _ -> failwith ("Corpus.load: malformed manifest line: " ^ line))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+(* TSV field: no tabs or newlines allowed inside. *)
+let clean s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let add ~dir ~seed ~oracle ~note circuit =
+  mkdir_p dir;
+  let base = Printf.sprintf "%s-seed%d" (Oracle.name oracle) seed in
+  let rec fresh i =
+    let file =
+      if i = 0 then base ^ ".qasm" else Printf.sprintf "%s-%d.qasm" base i
+    in
+    if Sys.file_exists (Filename.concat dir file) then fresh (i + 1) else file
+  in
+  let file = fresh 0 in
+  let oc = open_out_bin (Filename.concat dir file) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Quantum.Qasm.to_string circuit));
+  let entry = { file; seed; oracle; note = clean note } in
+  let moc =
+    open_out_gen [ Open_append; Open_creat ] 0o644
+      (Filename.concat dir manifest_name)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr moc)
+    (fun () ->
+      Printf.fprintf moc "%s\t%d\t%s\t%s\n" entry.file entry.seed
+        (Oracle.name entry.oracle) entry.note);
+  entry
+
+let read_circuit ~dir entry =
+  Quantum.Qasm_parser.of_string (read_file (Filename.concat dir entry.file))

@@ -1,0 +1,38 @@
+(** Persisted failure corpus.
+
+    Every minimized counterexample is serialized as an OpenQASM file
+    under a corpus directory, next to a [manifest.tsv] recording which
+    seed produced it, which oracle it refuted and why. The manifest is
+    append-only plain text so entries diff cleanly in review, and the
+    test suite ([test/test_corpus.ml]) replays every entry through its
+    recorded oracle — a past fuzz finding can never regress silently. *)
+
+type entry = {
+  file : string;  (** QASM file name, relative to the corpus directory *)
+  seed : int;  (** per-case seed that reproduces the finding *)
+  oracle : Oracle.t;
+  note : string;  (** the oracle's failure message at capture time *)
+}
+
+(** Where the checked-in corpus lives, relative to the repo root. *)
+val default_dir : string
+
+(** Entries of [dir]'s manifest; [[]] when the directory or manifest
+    does not exist. Raises [Failure] on a malformed manifest line. *)
+val load : string -> entry list
+
+(** [add ~dir ~seed ~oracle ~note circuit] writes the circuit and
+    appends a manifest line, creating [dir] as needed. The file name
+    encodes the oracle and seed; a counter suffix keeps it fresh when
+    one seed produces several findings. *)
+val add :
+  dir:string ->
+  seed:int ->
+  oracle:Oracle.t ->
+  note:string ->
+  Quantum.Circuit.t ->
+  entry
+
+(** Parse an entry's circuit back. Raises [Failure] on unreadable or
+    unparsable files. *)
+val read_circuit : dir:string -> entry -> Quantum.Circuit.t

@@ -1,0 +1,84 @@
+type failure = {
+  case_index : int;
+  case_seed : int;
+  oracle : Oracle.t;
+  message : string;
+  original_gates : int;
+  minimized : Quantum.Circuit.t;
+  corpus_file : string option;
+}
+
+type summary = {
+  seed : int;
+  cases : int;
+  oracles : Oracle.t list;
+  failures : failure list;
+}
+
+let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ~seed ~cases
+    () =
+  let master = Prng.make seed in
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let rng = Prng.split master i in
+    (* A stable per-case seed for the oracles' simulators and probes,
+       drawn from a sibling stream so it never perturbs generation. *)
+    let case_seed =
+      Int64.to_int
+        (Int64.logand (Prng.bits64 (Prng.split master (-i - 1))) 0x3FFFFFFFL)
+    in
+    let c = Gen.circuit config rng in
+    Obs.Metrics.incr "fuzz.cases";
+    List.iter
+      (fun oracle ->
+        match Oracle.check oracle ~seed:case_seed c with
+        | Oracle.Pass -> ()
+        | Oracle.Fail message ->
+          Obs.Metrics.incr "fuzz.failures";
+          let still_fails c' =
+            match Oracle.check oracle ~seed:case_seed c' with
+            | Oracle.Fail _ -> true
+            | Oracle.Pass -> false
+          in
+          let minimized, _checks = Shrink.minimize ~still_fails c in
+          let corpus_file =
+            Option.map
+              (fun dir ->
+                (Corpus.add ~dir ~seed:case_seed ~oracle ~note:message
+                   minimized)
+                  .Corpus.file)
+              corpus_dir
+          in
+          failures :=
+            {
+              case_index = i;
+              case_seed;
+              oracle;
+              message;
+              original_gates = Quantum.Circuit.gate_count c;
+              minimized;
+              corpus_file;
+            }
+            :: !failures)
+      oracles
+  done;
+  { seed; cases; oracles; failures = List.rev !failures }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "fuzz: seed %d, %d cases, oracles [%s]@." s.seed s.cases
+    (String.concat " " (List.map Oracle.name s.oracles));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf
+        "  FAIL case %d (seed %d) oracle %s: %s@.    minimized %d -> %d \
+         gates%s@."
+        f.case_index f.case_seed (Oracle.name f.oracle) f.message
+        f.original_gates
+        (Quantum.Circuit.gate_count f.minimized)
+        (match f.corpus_file with
+         | Some file -> Printf.sprintf " (corpus: %s)" file
+         | None -> ""))
+    s.failures;
+  if s.failures = [] then Format.fprintf ppf "  all oracles passed@."
+  else
+    Format.fprintf ppf "  %d failing case(s)@." (List.length s.failures)

@@ -1,0 +1,173 @@
+type t = Engines | Verified | Roundtrip | Simulation
+type verdict = Pass | Fail of string
+
+let all = [ Engines; Verified; Roundtrip; Simulation ]
+
+let name = function
+  | Engines -> "engines"
+  | Verified -> "verified"
+  | Roundtrip -> "roundtrip"
+  | Simulation -> "simulation"
+
+let of_name s =
+  match List.find_opt (fun o -> name o = s) all with
+  | Some o -> Ok o
+  | None ->
+    Error
+      (Printf.sprintf "unknown oracle %S (expected %s)" s
+         (String.concat " | " (List.map name all)))
+
+(* ---- engines: fresh-vs-incremental sweep identity ---- *)
+
+let sweep_with engine c =
+  Caqr.Qs_caqr.sweep ~opts:{ Caqr.Qs_caqr.default_opts with engine } c
+
+let check_engines c =
+  let inc = sweep_with Caqr.Qs_caqr.Incremental c in
+  let fresh = sweep_with Caqr.Qs_caqr.Fresh c in
+  if inc = fresh then Pass
+  else begin
+    let rec first_diff i = function
+      | a :: ar, b :: br -> if a = b then first_diff (i + 1) (ar, br) else i
+      | _ -> i
+    in
+    Fail
+      (Printf.sprintf
+         "incremental and fresh sweeps diverge (lengths %d vs %d, first \
+          differing step %d)"
+         (List.length inc) (List.length fresh)
+         (first_diff 0 (inc, fresh)))
+  end
+
+(* ---- verified: compile + translation validation ---- *)
+
+let check_verified ~seed c =
+  let device = Hardware.Device.heavy_hex_for c.Quantum.Circuit.num_qubits in
+  let strategy =
+    match seed mod 3 with
+    | 0 -> Caqr.Pipeline.Qs_max_reuse
+    | 1 -> Caqr.Pipeline.Qs_min_depth
+    | _ -> Caqr.Pipeline.Sr
+  in
+  let options =
+    { Caqr.Pipeline.default with verify = Some Verify.Auto; seed }
+  in
+  let r =
+    Caqr.Pipeline.compile ~options device strategy (Caqr.Pipeline.Regular c)
+  in
+  match r.Caqr.Pipeline.verification with
+  | Some (Verify.Inequivalent ce) ->
+    Fail
+      (Printf.sprintf "%s: verifier refuted the compiled artifact: %s"
+         (Caqr.Pipeline.strategy_name strategy)
+         ce.Verify.Verdict.detail)
+  | Some Verify.Equivalent | Some (Verify.Inconclusive _) -> Pass
+  | None -> Fail "Pipeline.compile dropped the requested verification"
+
+(* ---- roundtrip: print -> parse fixpoint ---- *)
+
+let same_kind_mod_print a b =
+  (* The printer truncates angles to 4 decimals; everything else must
+     survive exactly. *)
+  let close x y = Float.abs (x -. y) <= 1e-4 in
+  match (a, b) with
+  | Quantum.Gate.One_q (ga, qa), Quantum.Gate.One_q (gb, qb) ->
+    qa = qb
+    && (match (ga, gb) with
+        | Quantum.Gate.Rx x, Quantum.Gate.Rx y
+        | Quantum.Gate.Ry x, Quantum.Gate.Ry y
+        | Quantum.Gate.Rz x, Quantum.Gate.Rz y
+        | Quantum.Gate.Phase x, Quantum.Gate.Phase y -> close x y
+        | _ -> ga = gb)
+  | Quantum.Gate.Rzz (x, a1, a2), Quantum.Gate.Rzz (y, b1, b2) ->
+    close x y && a1 = b1 && a2 = b2
+  | _ -> a = b
+
+let check_roundtrip c =
+  let s1 = Quantum.Qasm.to_string c in
+  match Quantum.Qasm_parser.of_string s1 with
+  | exception Failure msg -> Fail ("printer output does not parse: " ^ msg)
+  | c1 ->
+    let s2 = Quantum.Qasm.to_string c1 in
+    if s1 <> s2 then Fail "print -> parse -> print is not a fixpoint"
+    else if c1.Quantum.Circuit.num_qubits <> c.Quantum.Circuit.num_qubits then
+      Fail "reparse changed the qubit count"
+    else if c1.Quantum.Circuit.num_clbits <> c.Quantum.Circuit.num_clbits then
+      Fail "reparse changed the clbit count"
+    else if Quantum.Circuit.gate_count c1 <> Quantum.Circuit.gate_count c then
+      Fail
+        (Printf.sprintf "reparse changed the gate count (%d -> %d)"
+           (Quantum.Circuit.gate_count c)
+           (Quantum.Circuit.gate_count c1))
+    else if
+      not
+        (Array.for_all2
+           (fun a b -> same_kind_mod_print a.Quantum.Gate.kind b.Quantum.Gate.kind)
+           c.Quantum.Circuit.gates c1.Quantum.Circuit.gates)
+    then Fail "reparse changed a gate"
+    else Pass
+
+(* ---- simulation: sampled-distribution agreement after reuse ---- *)
+
+(* Project a histogram onto the low [num_clbits] program bits — the
+   transform may have appended scratch clbits for conditional resets. *)
+let marginal ~num_clbits counts =
+  let mask = (1 lsl num_clbits) - 1 in
+  let out = Sim.Counts.create ~num_clbits in
+  List.iter
+    (fun (outcome, _) ->
+      let k = Sim.Counts.get counts outcome in
+      for _ = 1 to k do
+        Sim.Counts.add out (outcome land mask)
+      done)
+    (Sim.Counts.to_probs counts);
+  out
+
+let distinct_outcomes a b =
+  let outs c = List.map fst (Sim.Counts.to_probs c) in
+  List.length (List.sort_uniq compare (outs a @ outs b))
+
+let sim_max_qubits = 6
+let sim_shots = 1024
+
+let check_simulation ~seed c =
+  if c.Quantum.Circuit.num_qubits > sim_max_qubits then Pass
+  else
+    match List.rev (Caqr.Qs_caqr.sweep c) with
+    | [] | [ _ ] -> Pass (* no reuse opportunity: nothing to compare *)
+    | last :: _ ->
+      let t = last.Caqr.Qs_caqr.circuit in
+      let d0 = Sim.Executor.run ~seed ~shots:sim_shots c in
+      let d1 =
+        marginal ~num_clbits:c.Quantum.Circuit.num_clbits
+          (Sim.Executor.run ~seed:(seed + 1) ~shots:sim_shots t)
+      in
+      let tvd = Sim.Counts.tvd d0 d1 in
+      (* Two finite samples of the same distribution over K outcomes sit
+         around TVD ~ sqrt(K / shots) / 2; the additive floor keeps
+         low-entropy circuits from tripping on shot noise. *)
+      let k = distinct_outcomes d0 d1 in
+      let threshold = 0.1 +. sqrt (float_of_int k /. float_of_int sim_shots) in
+      if tvd <= threshold then Pass
+      else
+        Fail
+          (Printf.sprintf
+             "reuse transform shifted the output distribution: TVD %.3f > \
+              %.3f after %d reuses"
+             tvd threshold
+             (List.length last.Caqr.Qs_caqr.pairs))
+
+let check oracle ~seed c =
+  let verdict =
+    try
+      match oracle with
+      | Engines -> check_engines c
+      | Verified -> check_verified ~seed c
+      | Roundtrip -> check_roundtrip c
+      | Simulation -> check_simulation ~seed c
+    with e -> Fail ("uncaught exception: " ^ Printexc.to_string e)
+  in
+  (match verdict with
+   | Pass -> Obs.Metrics.incr (Printf.sprintf "fuzz.oracle.%s.pass" (name oracle))
+   | Fail _ -> Obs.Metrics.incr (Printf.sprintf "fuzz.oracle.%s.fail" (name oracle)));
+  verdict

@@ -1,0 +1,34 @@
+(** Differential oracles — one verdict per (oracle, circuit) pair.
+
+    Each oracle checks one equivalence the compiler promises, by running
+    two independent implementations of it and comparing:
+
+    - [Engines]: QS-CaQR sweeps under the [Incremental] and [Fresh]
+      analysis engines must be structurally identical;
+    - [Verified]: [Pipeline.compile] output must pass [Verify.run]
+      (structural conditions + exact-or-probe distribution equivalence);
+    - [Roundtrip]: OpenQASM printing must reach a print→parse fixpoint
+      in one trip, and the reparse must preserve the gate stream (angles
+      up to the printer's truncation);
+    - [Simulation]: the shot-sampled output distribution of the
+      reuse-transformed circuit must agree (TVD under an adaptive
+      threshold) with the original's on the program clbits.
+
+    An uncaught exception inside an oracle is itself a failure — crashes
+    are bugs too. Every run bumps [Obs.Metrics]
+    (["fuzz.oracle.<name>.pass" | ".fail"]). *)
+
+type t = Engines | Verified | Roundtrip | Simulation
+
+type verdict = Pass | Fail of string
+
+val all : t list
+val name : t -> string
+
+(** Parses the output of {!name}. *)
+val of_name : string -> (t, string) result
+
+(** [check oracle ~seed circuit]. The same [(oracle, seed, circuit)]
+    triple always returns the same verdict — simulation and probe seeds
+    derive from [seed]. *)
+val check : t -> seed:int -> Quantum.Circuit.t -> verdict

@@ -1,0 +1,124 @@
+(* Repair a kind list so it builds a well-formed circuit: drop
+   conditional X gates whose clbit has no earlier writer (gate removal
+   may have deleted the measure) and barriers that lost their wires.
+   Returns [None] when the list contains a degenerate two-qubit gate —
+   those candidates are skipped rather than repaired, since collapsing
+   operands would change which gate it is. *)
+let sanitize kinds =
+  let ok = ref true in
+  let written = Hashtbl.create 8 in
+  let keep =
+    List.filter_map
+      (fun k ->
+        match k with
+        | Quantum.Gate.Cx (a, b)
+        | Quantum.Gate.Cz (a, b)
+        | Quantum.Gate.Rzz (_, a, b)
+        | Quantum.Gate.Swap (a, b) ->
+          if a = b then ok := false;
+          Some k
+        | Quantum.Gate.Measure (_, c) ->
+          Hashtbl.replace written c ();
+          Some k
+        | Quantum.Gate.If_x (c, _) ->
+          if Hashtbl.mem written c then Some k else None
+        | Quantum.Gate.Barrier qs ->
+          let qs = List.sort_uniq compare qs in
+          if qs = [] then None else Some (Quantum.Gate.Barrier qs)
+        | _ -> Some k)
+      kinds
+  in
+  if !ok then Some keep else None
+
+let kinds_of c =
+  Array.to_list (Array.map (fun g -> g.Quantum.Gate.kind) c.Quantum.Circuit.gates)
+
+let build ~num_qubits ~num_clbits kinds =
+  match sanitize kinds with
+  | None -> None
+  | Some kinds -> Some (Quantum.Circuit.of_kinds ~num_qubits ~num_clbits kinds)
+
+(* Delete the chunk [start, start+len). *)
+let remove_chunk kinds start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) kinds
+
+let minimize ?(max_checks = 1500) ~still_fails c =
+  let checks = ref 0 in
+  let try_candidate candidate =
+    match candidate with
+    | None -> false
+    | Some c' ->
+      !checks < max_checks
+      && Quantum.Circuit.gate_count c' > 0
+      && begin
+        incr checks;
+        Obs.Metrics.incr "fuzz.shrink.steps";
+        still_fails c'
+      end
+  in
+  let num_qubits = c.Quantum.Circuit.num_qubits in
+  let num_clbits = c.Quantum.Circuit.num_clbits in
+  let rebuild kinds = build ~num_qubits ~num_clbits kinds in
+  (* One pass of chunked gate removal; [Some smaller] on first success. *)
+  let removal_pass c =
+    let kinds = kinds_of c in
+    let n = List.length kinds in
+    let rec chunks len =
+      if len < 1 then None
+      else
+        let rec starts start =
+          if start >= n then chunks (len / 2)
+          else
+            let cand = rebuild (remove_chunk kinds start len) in
+            if try_candidate cand then cand else starts (start + len)
+        in
+        starts 0
+    in
+    chunks (n / 2)
+  in
+  (* One pass of qubit merging: rewire b onto a when no gate couples
+     them, then compact away the empty wire. *)
+  let merge_pass c =
+    let inter = Quantum.Circuit.interaction_graph c in
+    let active = Quantum.Circuit.active_qubits c in
+    let rec pairs = function
+      | [] -> None
+      | a :: rest ->
+        let rec against = function
+          | [] -> pairs rest
+          | b :: more ->
+            if Galg.Graph.has_edge inter a b then against more
+            else begin
+              let merged =
+                Quantum.Circuit.map_qubits ~num_qubits
+                  (fun q -> if q = b then a else q)
+                  c
+              in
+              let cand = rebuild (kinds_of merged) in
+              if try_candidate cand then cand else against more
+            end
+        in
+        against rest
+    in
+    pairs active
+  in
+  let rec loop c =
+    if !checks >= max_checks then c
+    else
+      match removal_pass c with
+      | Some smaller -> loop smaller
+      | None -> (
+        match merge_pass c with
+        | Some smaller -> loop smaller
+        | None -> c)
+  in
+  let result = loop c in
+  let compacted, _ = Quantum.Circuit.compact_qubits result in
+  (* Compaction renames wires; keep it only if the failure survives the
+     renaming, otherwise return the uncompacted minimum. *)
+  if
+    Quantum.Circuit.gate_count compacted > 0
+    && compacted.Quantum.Circuit.num_qubits < result.Quantum.Circuit.num_qubits
+    && still_fails compacted
+  then (compacted, !checks)
+  else (result, !checks)

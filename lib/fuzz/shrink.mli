@@ -1,0 +1,25 @@
+(** Delta-debugging minimizer for failing circuits.
+
+    Greedy first-improvement loop over two candidate families, re-checked
+    against the oracle at every step:
+
+    - gate removal: delete contiguous chunks, halving the chunk size down
+      to single gates (ddmin-style);
+    - qubit merging: rewire one qubit's gates onto another (legal only
+      when no two-qubit gate couples them), then drop empty wires.
+
+    Candidates are repaired before checking — conditional X gates whose
+    clbit lost its writer are dropped, degenerate two-qubit gates reject
+    the candidate — so the oracle always sees a well-formed circuit and
+    cannot "fail" on generator-invariant violations the original never
+    had. Each oracle re-check bumps [Obs.Metrics] ["fuzz.shrink.steps"]. *)
+
+(** [minimize ?max_checks ~still_fails c] returns a locally minimal
+    circuit on which [still_fails] is still true, together with the
+    number of oracle checks spent. [still_fails c] itself must be true.
+    [max_checks] (default 1500) bounds the oracle budget. *)
+val minimize :
+  ?max_checks:int ->
+  still_fails:(Quantum.Circuit.t -> bool) ->
+  Quantum.Circuit.t ->
+  Quantum.Circuit.t * int

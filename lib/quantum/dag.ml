@@ -13,7 +13,7 @@ let build (c : Circuit.t) =
   let last_q = Array.make (max 1 c.num_qubits) (-1) in
   let last_c = Array.make (max 1 c.num_clbits) (-1) in
   let add_dep src dst =
-    if src >= 0 && not (List.mem src preds.(dst)) then begin
+    if src >= 0 && src <> dst && not (List.mem src preds.(dst)) then begin
       preds.(dst) <- src :: preds.(dst);
       succs.(src) <- dst :: succs.(src)
     end
@@ -47,7 +47,95 @@ let build (c : Circuit.t) =
   let on_qubit = Array.map List.rev on_qubit in
   { circuit = c; preds; succs; on_qubit }
 
-let of_parts circuit ~preds ~succs ~on_qubit = { circuit; preds; succs; on_qubit }
+(* [of_parts] trusts its caller for *content* (that the adjacency is the
+   one [build] would derive) but not for *shape*: a relabelling bug shows
+   up as an out-of-range id, a duplicate, a backward edge, or a wire list
+   that disagrees with the circuit — all cheap to detect here and
+   miserable to debug downstream where they surface as phantom cycles.
+   The length checks are free and unconditional; the per-edge checks are
+   O(edges) and can be skipped with [~check:false] by a hot caller whose
+   output is independently cross-validated (the incremental engine, whose
+   analyses the property suites and the fuzz [engines] oracle compare
+   byte-for-byte against fresh ones). *)
+let of_parts ?(check = true) circuit ~preds ~succs ~on_qubit =
+  let fail fmt = Format.kasprintf invalid_arg ("Dag.of_parts: " ^^ fmt) in
+  let n = Array.length circuit.Circuit.gates in
+  if Array.length preds <> n then
+    fail "preds has %d entries for %d gates" (Array.length preds) n;
+  if Array.length succs <> n then
+    fail "succs has %d entries for %d gates" (Array.length succs) n;
+  let expected_wires = max 1 circuit.Circuit.num_qubits in
+  if Array.length on_qubit <> expected_wires then
+    fail "on_qubit has %d wires for %d qubits" (Array.length on_qubit)
+      circuit.Circuit.num_qubits;
+  if not check then { circuit; preds; succs; on_qubit }
+  else begin
+  (* Allocation-free: adjacency lists are short (wire degree), so a list
+     scan beats building any set. *)
+  let check_adj what forward i ids =
+    let rec go = function
+      | [] -> ()
+      | j :: rest ->
+        if j < 0 || j >= n then
+          fail "%s.(%d) mentions dangling gate %d" what i j;
+        if List.memq j rest then fail "%s.(%d) lists gate %d twice" what i j;
+        (* Gates are stored in execution order, so every dependence must
+           point forward — a backward edge breaks [topo_order]. *)
+        if forward && j <= i then
+          fail "%s.(%d) edge from %d is not topological" what i j;
+        if (not forward) && j >= i then
+          fail "%s.(%d) edge from %d is not topological" what i j;
+        go rest
+    in
+    go ids
+  in
+  Array.iteri (fun i ids -> check_adj "preds" false i ids) preds;
+  Array.iteri (fun i ids -> check_adj "succs" true i ids) succs;
+  Array.iteri
+    (fun i ids ->
+      List.iter
+        (fun j ->
+          if not (List.memq i succs.(j)) then
+            fail "preds.(%d) lists %d but succs.(%d) does not mirror it" i j j)
+        ids)
+    preds;
+  Array.iteri
+    (fun i ids ->
+      List.iter
+        (fun j ->
+          if not (List.memq i preds.(j)) then
+            fail "succs.(%d) lists %d but preds.(%d) does not mirror it" i j j)
+        ids)
+    succs;
+  (* Non-allocating [Gate.qubits] membership — on the same hot path. *)
+  let acts_on q = function
+    | Gate.One_q (_, a) | Gate.Reset a | Gate.Measure (a, _) | Gate.If_x (_, a)
+      ->
+      a = q
+    | Gate.Cx (a, b) | Gate.Cz (a, b) | Gate.Rzz (_, a, b) | Gate.Swap (a, b)
+      ->
+      a = q || b = q
+    | Gate.Barrier _ -> false
+  in
+  Array.iteri
+    (fun q ids ->
+      let last = ref (-1) in
+      List.iter
+        (fun g ->
+          if g < 0 || g >= n then fail "on_qubit.(%d) mentions dangling gate %d" q g;
+          if g <= !last then
+            fail "on_qubit.(%d) is not in execution order at gate %d" q g;
+          last := g;
+          let k = circuit.Circuit.gates.(g).Gate.kind in
+          if Gate.is_barrier k then
+            fail "on_qubit.(%d) lists barrier %d" q g;
+          if not (acts_on q k) then
+            fail "on_qubit.(%d) lists gate %d which does not act on it" q g)
+        ids)
+    on_qubit;
+  { circuit; preds; succs; on_qubit }
+  end
+
 let circuit t = t.circuit
 let num_nodes t = Array.length t.preds
 let preds t i = t.preds.(i)

@@ -13,8 +13,16 @@ val build : Circuit.t -> t
     precomputed adjacency, for callers that can derive it cheaper than
     {!build} (e.g. by relabelling a parent DAG). The arrays must describe
     exactly what [build circuit] would produce, up to neighbour-list
-    order; this is not checked. *)
+    order. Shape invariants are checked — array lengths matching the
+    circuit, ids in range and listed once, edges pointing forward in
+    emission order with [preds]/[succs] mirrored, and [on_qubit] listing
+    non-barrier gates of that wire in execution order — and a violation
+    raises [Invalid_argument]; semantic agreement with [build] is the
+    caller's burden. [~check:false] skips the per-edge checks (the array
+    length checks always run) — reserve it for hot callers whose output
+    is cross-validated elsewhere. *)
 val of_parts :
+  ?check:bool ->
   Circuit.t ->
   preds:int list array ->
   succs:int list array ->

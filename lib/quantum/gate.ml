@@ -58,7 +58,11 @@ let map_qubits f = function
   | Measure (q, c) -> Measure (f q, c)
   | Reset q -> Reset (f q)
   | If_x (c, q) -> If_x (c, f q)
-  | Barrier qs -> Barrier (List.map f qs)
+  | Barrier qs ->
+    (* A barrier's wire list is a set: a non-injective rename (e.g. the
+       reuse transform rewiring dst onto src) must not leave duplicates
+       behind — a duplicated wire reads as a self-dependence downstream. *)
+    Barrier (List.sort_uniq compare (List.map f qs))
 
 let map_clbits f = function
   | Measure (q, c) -> Measure (q, f c)

@@ -103,6 +103,11 @@ let check_one_pair (c : Quantum.Circuit.t) k { src; dst } =
       let couples =
         Array.exists
           (fun (g : Quantum.Gate.t) ->
+            (* Barriers are scheduling directives, not interactions: a
+               barrier spanning both wires constrains ordering (checked by
+               Condition 2 through the DAG below) but does not couple them. *)
+            (not (Quantum.Gate.is_barrier g.Quantum.Gate.kind))
+            &&
             let qs = Quantum.Gate.qubits g.Quantum.Gate.kind in
             List.mem src qs && List.mem dst qs)
           c.gates

@@ -1,0 +1,38 @@
+(* Replays every checked-in fuzz counterexample through the oracle it
+   originally refuted. Each entry was minimized from a real compiler bug;
+   the oracle passing now proves the fix and pins it against regression.
+
+   Tests execute from [_build/default/test], so the corpus is located by
+   probing a few roots; a missing corpus yields an empty (vacuously
+   green) suite rather than a failure, keeping fresh clones usable. *)
+
+let corpus_dir =
+  List.find_opt
+    (fun d -> Sys.file_exists (Filename.concat d "manifest.tsv"))
+    [
+      Filename.concat "../../.." Fuzz.Corpus.default_dir;
+      Fuzz.Corpus.default_dir;
+      Filename.concat ".." Fuzz.Corpus.default_dir;
+    ]
+
+let entries =
+  match corpus_dir with Some d -> Fuzz.Corpus.load d | None -> []
+
+let replay dir (e : Fuzz.Corpus.entry) () =
+  let c = Fuzz.Corpus.read_circuit ~dir e in
+  match Fuzz.Oracle.check e.Fuzz.Corpus.oracle ~seed:e.Fuzz.Corpus.seed c with
+  | Fuzz.Oracle.Pass -> ()
+  | Fuzz.Oracle.Fail msg ->
+    Alcotest.failf "%s regressed (originally: %s): %s" e.Fuzz.Corpus.file
+      e.Fuzz.Corpus.note msg
+
+let cases =
+  match corpus_dir with
+  | None -> []
+  | Some dir ->
+    List.map
+      (fun (e : Fuzz.Corpus.entry) ->
+        Alcotest.test_case e.Fuzz.Corpus.file `Quick (replay dir e))
+      entries
+
+let () = Alcotest.run "corpus" [ ("replay", cases) ]

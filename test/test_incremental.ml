@@ -3,8 +3,14 @@
    of the transformed circuit on every observable, and the Incremental
    search engine has to reproduce the Fresh engine's sweeps exactly. *)
 
+(* Per-property seeded state, as in test_properties.ml: seeding from the
+   name keeps runs reproducible without correlating the properties. *)
 let to_alcotest t =
-  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xca9 |]) t
+  let (QCheck2.Test.Test cell) = t in
+  let name = QCheck2.Test.get_name cell in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xca9; Hashtbl.hash name |])
+    t
 
 (* Random shallow circuits (same shape as test_properties.ml), paired
    with a choice stream that picks which valid pair to apply at each

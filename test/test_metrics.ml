@@ -1,0 +1,111 @@
+(* Unit tests for Obs.Metrics: counter and timer semantics, snapshot
+   isolation, reset, and the serialized renderings. The registry is
+   process-global, so every test starts from [reset]. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+module M = Obs.Metrics
+
+let test_counter_basics () =
+  M.reset ();
+  check int "unbumped counter is 0" 0 (M.count "t.never");
+  M.incr "t.a";
+  M.incr "t.a";
+  M.incr ~by:5 "t.a";
+  check int "1 + 1 + 5" 7 (M.count "t.a");
+  M.incr ~by:(-2) "t.a";
+  check int "negative by subtracts" 5 (M.count "t.a");
+  M.incr "t.b";
+  check int "keys independent" 1 (M.count "t.b");
+  check int "t.a untouched by t.b" 5 (M.count "t.a")
+
+let test_timer_basics () =
+  M.reset ();
+  check bool "unused timer is 0" true (M.timing "time.t" = 0.0);
+  M.add_time "time.t" 0.25;
+  M.add_time "time.t" 0.5;
+  check bool "accumulates" true (abs_float (M.timing "time.t" -. 0.75) < 1e-9);
+  M.add_time "time.t" (-1.0);
+  check bool "negative delta clamped" true
+    (abs_float (M.timing "time.t" -. 0.75) < 1e-9)
+
+let test_time_wraps_exceptions () =
+  M.reset ();
+  let r = M.time "time.ok" (fun () -> 42) in
+  check int "result passes through" 42 r;
+  check bool "duration recorded" true (M.timing "time.ok" >= 0.0);
+  (match M.time "time.raise" (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "expected Failure"
+   | exception Failure _ -> ());
+  (* The timer must have charged the failed run too. *)
+  check bool "timer exists after raise" true
+    (List.mem_assoc "time.raise" (M.snapshot ()).M.timings)
+
+let test_snapshot_isolation () =
+  M.reset ();
+  M.incr "t.snap";
+  let s = M.snapshot () in
+  check int "snapshot sees 1" 1 (List.assoc "t.snap" s.M.counters);
+  (* Later bumps must not leak into the already-taken snapshot. *)
+  M.incr ~by:10 "t.snap";
+  check int "snapshot unchanged" 1 (List.assoc "t.snap" s.M.counters);
+  check int "registry moved on" 11 (M.count "t.snap")
+
+let test_snapshot_sorted () =
+  M.reset ();
+  M.incr "t.zz";
+  M.incr "t.aa";
+  M.incr "t.mm";
+  let keys = List.map fst (M.snapshot ()).M.counters in
+  check (Alcotest.list Alcotest.string) "sorted by key"
+    [ "t.aa"; "t.mm"; "t.zz" ] keys
+
+let test_reset () =
+  M.reset ();
+  M.incr "t.gone";
+  M.add_time "time.gone" 1.0;
+  M.reset ();
+  check int "counter cleared" 0 (M.count "t.gone");
+  check bool "timer cleared" true (M.timing "time.gone" = 0.0);
+  let s = M.snapshot () in
+  check int "no counters" 0 (List.length s.M.counters);
+  check int "no timings" 0 (List.length s.M.timings)
+
+let test_to_json () =
+  M.reset ();
+  M.incr ~by:3 "t.j";
+  M.add_time "time.j" 0.125;
+  let j = M.to_json (M.snapshot ()) in
+  let has needle =
+    let n = String.length needle and m = String.length j in
+    let rec go i = i + n <= m && (String.sub j i n = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "counters object" true (has "\"counters\"");
+  check bool "timings object" true (has "\"timings_s\"");
+  check bool "counter value" true (has "\"t.j\":3");
+  check bool "timer key" true (has "\"time.j\"")
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "basics" `Quick test_timer_basics;
+          Alcotest.test_case "time wraps exceptions" `Quick
+            test_time_wraps_exceptions;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "isolation" `Quick test_snapshot_isolation;
+          Alcotest.test_case "sorted" `Quick test_snapshot_sorted;
+          Alcotest.test_case "json" `Quick test_to_json;
+        ] );
+    ]

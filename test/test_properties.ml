@@ -1,8 +1,15 @@
 (* Property-based tests (qcheck) for the core invariants. *)
 
-(* Pin the generator seed: property tests must be reproducible in CI. *)
+(* Pin the generator seed: property tests must be reproducible in CI.
+   Each property gets its own state, seeded from its name — identical
+   seeds would make every property explore the same underlying stream,
+   correlating their inputs (and their blind spots). *)
 let to_alcotest t =
-  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xca9 |]) t
+  let (QCheck2.Test.Test cell) = t in
+  let name = QCheck2.Test.get_name cell in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xca9; Hashtbl.hash name |])
+    t
 
 (* ---- Generators ---- *)
 

@@ -53,6 +53,15 @@ let test_map_qubits () =
   let m = G.map_qubits (fun q -> q + 1) (G.Measure (0, 5)) in
   check (Alcotest.list int) "clbit kept" [ 5 ] (G.clbits m)
 
+let test_map_qubits_barrier_dedup () =
+  (* A non-injective rename (the reuse transform rewiring dst onto src)
+     must not leave duplicate wires in a barrier: a duplicate reads as a
+     self-dependence when the DAG is rebuilt. *)
+  let k =
+    G.map_qubits (fun q -> if q = 3 then 1 else q) (G.Barrier [ 0; 1; 3; 5 ])
+  in
+  check (Alcotest.list int) "deduped" [ 0; 1; 5 ] (G.qubits k)
+
 let test_commutes_disjoint () =
   check bool "disjoint" true (G.commutes (G.Cx (0, 1)) (G.Cx (2, 3)))
 
@@ -221,6 +230,93 @@ let test_dag_critical_nodes () =
   check bool "h not critical" false crit.(0);
   check bool "cx critical" true crit.(1)
 
+(* ---- Dag.of_parts validation ---- *)
+
+(* A small circuit plus the exact parts [Dag.build] would derive, so each
+   test can corrupt one piece and expect [of_parts] to reject it. *)
+let of_parts_fixture () =
+  let b = B.create ~num_qubits:2 ~num_clbits:1 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 1 0;
+  let c = B.build b in
+  (* h0 -> cx01 -> measure1 *)
+  let preds = [| []; [ 0 ]; [ 1 ] |] in
+  let succs = [| [ 1 ]; [ 2 ]; [] |] in
+  let on_qubit = [| [ 0; 1 ]; [ 1; 2 ] |] in
+  (c, preds, succs, on_qubit)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_of_parts_accepts_valid () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  let dag = Quantum.Dag.of_parts c ~preds ~succs ~on_qubit in
+  check (Alcotest.list int) "preds kept" [ 1 ] (Quantum.Dag.preds dag 2);
+  check (Alcotest.list int) "wire kept" [ 1; 2 ]
+    (Quantum.Dag.gates_on_qubit dag 1)
+
+let test_of_parts_duplicate_ids () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  let succs = Array.copy succs in
+  succs.(0) <- [ 1; 1 ];
+  expect_invalid "duplicate succ" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit)
+
+let test_of_parts_dangling_edge () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  let succs = Array.copy succs in
+  succs.(2) <- [ 7 ];
+  expect_invalid "dangling succ" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit);
+  let _, preds, succs, _ = of_parts_fixture () in
+  let on_qubit = [| [ 0; 1 ]; [ 1; 9 ] |] in
+  expect_invalid "dangling wire gate" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit)
+
+let test_of_parts_non_topological () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  (* Gates are stored in emission order, so a backward edge 2 -> 1 (or a
+     pred pointing forward) cannot describe any build output. *)
+  let preds = Array.copy preds and succs = Array.copy succs in
+  preds.(1) <- [ 2 ];
+  succs.(2) <- [ 1 ];
+  expect_invalid "backward edge" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit)
+
+let test_of_parts_unmirrored () =
+  let c, preds, _, on_qubit = of_parts_fixture () in
+  let succs = [| [ 1 ]; [] ; [] |] in
+  (* preds.(2) still lists 1, succs.(1) no longer does. *)
+  expect_invalid "unmirrored" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit)
+
+let test_of_parts_bad_shapes () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  expect_invalid "short preds" (fun () ->
+      Quantum.Dag.of_parts c ~preds:[| []; [ 0 ] |] ~succs ~on_qubit);
+  expect_invalid "wrong wire count" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit:[| [ 0; 1 ] |]);
+  expect_invalid "wire out of order" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit:[| [ 1; 0 ]; [ 1; 2 ] |]);
+  expect_invalid "wire lists foreign gate" (fun () ->
+      Quantum.Dag.of_parts c ~preds ~succs ~on_qubit:[| [ 0; 1 ]; [ 0; 2 ] |])
+
+let test_of_parts_unchecked_keeps_length_checks () =
+  let c, preds, succs, on_qubit = of_parts_fixture () in
+  (* ~check:false skips only the per-edge scans; the O(1) array-length
+     checks stay on even for hot callers. *)
+  let dag = Quantum.Dag.of_parts ~check:false c ~preds ~succs ~on_qubit in
+  check (Alcotest.list int) "preds kept" [ 1 ] (Quantum.Dag.preds dag 2);
+  expect_invalid "short preds still rejected" (fun () ->
+      Quantum.Dag.of_parts ~check:false c ~preds:[| []; [ 0 ] |] ~succs
+        ~on_qubit);
+  expect_invalid "wrong wire count still rejected" (fun () ->
+      Quantum.Dag.of_parts ~check:false c ~preds ~succs
+        ~on_qubit:[| [ 0; 1 ] |])
+
 let test_gates_on_qubit () =
   let c = bv3 () in
   let dag = Quantum.Dag.build c in
@@ -290,6 +386,8 @@ let () =
           Alcotest.test_case "clbits" `Quick test_gate_clbits;
           Alcotest.test_case "classification" `Quick test_gate_classify;
           Alcotest.test_case "map qubits" `Quick test_map_qubits;
+          Alcotest.test_case "barrier rename dedups" `Quick
+            test_map_qubits_barrier_dedup;
           Alcotest.test_case "commutes disjoint" `Quick test_commutes_disjoint;
           Alcotest.test_case "commutes diagonal" `Quick test_commutes_diagonal;
           Alcotest.test_case "commutes negative" `Quick test_commutes_negative;
@@ -319,6 +417,19 @@ let () =
           Alcotest.test_case "longest path" `Quick test_dag_longest_path;
           Alcotest.test_case "critical nodes" `Quick test_dag_critical_nodes;
           Alcotest.test_case "gates on qubit" `Quick test_gates_on_qubit;
+          Alcotest.test_case "of_parts valid" `Quick test_of_parts_accepts_valid;
+          Alcotest.test_case "of_parts duplicate ids" `Quick
+            test_of_parts_duplicate_ids;
+          Alcotest.test_case "of_parts dangling edge" `Quick
+            test_of_parts_dangling_edge;
+          Alcotest.test_case "of_parts non-topological" `Quick
+            test_of_parts_non_topological;
+          Alcotest.test_case "of_parts unmirrored" `Quick
+            test_of_parts_unmirrored;
+          Alcotest.test_case "of_parts bad shapes" `Quick
+            test_of_parts_bad_shapes;
+          Alcotest.test_case "of_parts unchecked shape" `Quick
+            test_of_parts_unchecked_keeps_length_checks;
         ] );
       ( "reachability",
         [

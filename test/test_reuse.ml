@@ -94,6 +94,29 @@ let test_apply_reuses_existing_measure () =
   let c' = Caqr.Reuse.apply c { Caqr.Reuse.src = 0; dst = 1 } in
   check int "clbits unchanged" c.Quantum.Circuit.num_clbits c'.Quantum.Circuit.num_clbits
 
+let test_apply_shared_clbit_not_reused () =
+  (* src ends in a measure, but its clbit is written again by q1's later
+     measure. Kahn emission favors small gate ids, so that second writer
+     lands between src's measure and the conditional X — driving the
+     reset off the shared clbit would read q1's outcome, not src's. The
+     transform must fall back to a fresh scratch clbit (fuzzer-found). *)
+  let b = B.create ~num_qubits:3 ~num_clbits:2 in
+  B.h b 0;
+  B.measure b 0 0;
+  B.x b 1;
+  B.measure b 1 0;
+  B.x b 2;
+  B.measure b 2 1;
+  let c = B.build b in
+  let c' = Caqr.Reuse.apply c { Caqr.Reuse.src = 0; dst = 2 } in
+  check int "scratch clbit added" (c.Quantum.Circuit.num_clbits + 1)
+    c'.Quantum.Circuit.num_clbits;
+  let scratch = c.Quantum.Circuit.num_clbits in
+  check bool "reset driven by the scratch clbit" true
+    (Array.exists
+       (fun g -> match g.G.kind with G.If_x (cb, _) -> cb = scratch | _ -> false)
+       c'.Quantum.Circuit.gates)
+
 let test_apply_unmeasured_src_allocates_scratch () =
   (* src without a trailing measure needs Measure + If_x on a new clbit. *)
   let b = B.create ~num_qubits:3 ~num_clbits:0 in
@@ -184,6 +207,8 @@ let () =
           Alcotest.test_case "reduces usage" `Quick test_apply_reduces_usage;
           Alcotest.test_case "reuses existing measure" `Quick test_apply_reuses_existing_measure;
           Alcotest.test_case "scratch clbit" `Quick test_apply_unmeasured_src_allocates_scratch;
+          Alcotest.test_case "shared clbit not reused" `Quick
+            test_apply_shared_clbit_not_reused;
           Alcotest.test_case "invalid raises" `Quick test_apply_invalid_raises;
           Alcotest.test_case "semantics BV" `Quick test_apply_preserves_semantics_bv;
           Alcotest.test_case "semantics entangled" `Quick test_apply_preserves_semantics_entangled;
