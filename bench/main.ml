@@ -583,6 +583,132 @@ let verify_exp () =
     (Benchmarks.Suite.table1 ());
   Printf.printf "\n=> inequivalent artifacts: %d (target 0)\n" !bad
 
+(* ------------------------------------------------------------- parallel *)
+
+(* The execution-pool experiment: the same work at jobs in {1, 2, 4}
+   must produce byte-identical artifacts (the pool's determinism
+   contract) while the wall clock drops on multicore hosts. Two loads on
+   the perf experiment's largest circuit: the Qs_best_fidelity candidate
+   fan-out (transpile per sweep point) and ideal shot sampling (256-shot
+   batches). Speedups are relative to jobs=1 and bounded by the host's
+   core count — a single-core container reports ~1.0x and that is the
+   honest number. *)
+
+type parallel_point = {
+  pp_jobs : int;
+  pp_compile_s : float;
+  pp_sample_s : float;
+  pp_identical : bool;
+}
+
+type parallel_result = {
+  pr_benchmark : string;
+  pr_cores : int;
+  pr_points : parallel_point list;  (* jobs 1, 2, 4 *)
+  pr_compile_speedup_j4 : float;
+  pr_sample_speedup_j4 : float;
+}
+
+let parallel_cache : parallel_result option ref = ref None
+
+let largest_regular () =
+  List.fold_left
+    (fun acc (e : Benchmarks.Suite.entry) ->
+      match acc with
+      | Some (b : Benchmarks.Suite.entry)
+        when Quantum.Circuit.gate_count b.Benchmarks.Suite.circuit
+             >= Quantum.Circuit.gate_count e.Benchmarks.Suite.circuit ->
+        acc
+      | _ -> Some e)
+    None (Benchmarks.Suite.regular ())
+  |> Option.get
+
+let parallel_measurements () =
+  match !parallel_cache with
+  | Some r -> r
+  | None ->
+    let e = largest_regular () in
+    let input = Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit in
+    let sample_shots = 8192 in
+    let measure jobs =
+      (* Compile: best of 3 repetitions (the candidate fan-out is fast
+         enough for scheduler noise to matter). Sampling runs once: at
+         ~seconds per run the minimum would triple the experiment for a
+         margin it does not need. *)
+      let best_compile = ref infinity and report = ref None in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Caqr.Pipeline.compile
+            ~options:{ Caqr.Pipeline.default with jobs }
+            mumbai Caqr.Pipeline.Qs_best_fidelity input
+        in
+        best_compile := Float.min !best_compile (Unix.gettimeofday () -. t0);
+        report := Some r
+      done;
+      let r = Option.get !report in
+      let qasm =
+        Quantum.Qasm.to_string
+          (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical))
+      in
+      let t0 = Unix.gettimeofday () in
+      let counts =
+        Sim.Executor.run ~jobs ~seed:11 ~shots:sample_shots
+          r.Caqr.Pipeline.physical
+      in
+      let sample_s = Unix.gettimeofday () -. t0 in
+      (jobs, !best_compile, sample_s, qasm, Sim.Counts.to_list counts)
+    in
+    let runs = List.map measure [ 1; 2; 4 ] in
+    let _, c1, s1, qasm1, counts1 = List.hd runs in
+    let points =
+      List.map
+        (fun (jobs, c, s, qasm, counts) ->
+          {
+            pp_jobs = jobs;
+            pp_compile_s = c;
+            pp_sample_s = s;
+            pp_identical = qasm = qasm1 && counts = counts1;
+          })
+        runs
+    in
+    let speedup_at f j =
+      match List.find_opt (fun (jobs, _, _, _, _) -> jobs = j) runs with
+      | Some (_, c, s, _, _) -> (c1 /. Float.max 1e-9 c, s1 /. Float.max 1e-9 s) |> f
+      | None -> 1.
+    in
+    let r =
+      {
+        pr_benchmark = e.Benchmarks.Suite.name;
+        pr_cores = Domain.recommended_domain_count ();
+        pr_points = points;
+        pr_compile_speedup_j4 = speedup_at fst 4;
+        pr_sample_speedup_j4 = speedup_at snd 4;
+      }
+    in
+    if not (List.for_all (fun p -> p.pp_identical) points) then begin
+      incr structural_violations;
+      Printf.printf "!! DETERMINISM VIOLATION: jobs>1 changed the artifact\n%!"
+    end;
+    parallel_cache := Some r;
+    r
+
+let parallel_exp () =
+  section "parallel" "deterministic execution pool: jobs 1/2/4 (lib/exec)";
+  let r = parallel_measurements () in
+  Printf.printf "benchmark %s, %d core(s) recommended by the runtime\n"
+    r.pr_benchmark r.pr_cores;
+  Printf.printf "%-6s %-14s %-14s %s\n" "jobs" "compile(s)" "sample(s)"
+    "identical to jobs=1";
+  List.iter
+    (fun p ->
+      Printf.printf "%-6d %-14.4f %-14.4f %b\n" p.pp_jobs p.pp_compile_s
+        p.pp_sample_s p.pp_identical)
+    r.pr_points;
+  Printf.printf
+    "=> jobs=4 speedup: compile %.2fx, sampling %.2fx (bounded by cores)\n"
+    r.pr_compile_speedup_j4 r.pr_sample_speedup_j4
+
 (* ----------------------------------------------------------------- perf *)
 
 (* The incremental analysis engine must reproduce the fresh engine's
@@ -686,7 +812,7 @@ let perf () =
   Printf.printf "=> engines agree on every sweep: %b\n" all_identical;
   if not all_identical then incr structural_violations;
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"caqr-bench/1\",\"suite\":[";
+  Buffer.add_string b "{\"schema\":\"caqr-bench/2\",\"suite\":[";
   List.iteri
     (fun i (e, inc, fresh, identical, work, speedup) ->
       if i > 0 then Buffer.add_char b ',';
@@ -704,8 +830,26 @@ let perf () =
     rows;
   Buffer.add_string b
     (Printf.sprintf
-       "],\"headline\":{\"largest_benchmark\":%S,\"analyze_work_ratio\":%.3f,\"wall_speedup\":%.3f}}"
+       "],\"headline\":{\"largest_benchmark\":%S,\"analyze_work_ratio\":%.3f,\"wall_speedup\":%.3f}"
        le.Benchmarks.Suite.name lwork lspeed);
+  (* caqr-bench/2: the execution-pool section (jobs sweep on the largest
+     circuit, byte-identity check, speedups vs jobs=1). *)
+  let par = parallel_measurements () in
+  Buffer.add_string b
+    (Printf.sprintf ",\"parallel\":{\"benchmark\":%S,\"cores\":%d,\"points\":["
+       par.pr_benchmark par.pr_cores);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"jobs\":%d,\"compile_s\":%.6f,\"sample_s\":%.6f,\"identical\":%b}"
+           p.pp_jobs p.pp_compile_s p.pp_sample_s p.pp_identical))
+    par.pr_points;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"compile_speedup_j4\":%.3f,\"sample_speedup_j4\":%.3f}}"
+       par.pr_compile_speedup_j4 par.pr_sample_speedup_j4);
   Buffer.add_char b '\n';
   let oc = open_out "BENCH_caqr.json" in
   output_string oc (Buffer.contents b);
@@ -732,6 +876,7 @@ let experiments =
     ("ablation:matching", ablation_matching);
     ("ablation:noise", ablation_noise);
     ("verify", verify_exp);
+    ("parallel", parallel_exp);
     ("perf", perf);
     ("micro", micro);
   ]

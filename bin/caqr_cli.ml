@@ -93,8 +93,19 @@ let timings_flag =
           "Collect pipeline metrics and print per-phase wall-clock timings \
            and work counters after the result.")
 
-let options_for timings =
-  { Caqr.Pipeline.default with collect_metrics = timings }
+let jobs_flag =
+  Cmdliner.Arg.(
+    value
+    & opt int (Exec.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the compilation fan-out, fuzz batches and \
+           shot sampling. Output is byte-identical for every value; only \
+           wall-clock time changes. Defaults to the runtime's recommended \
+           domain count (capped).")
+
+let options_for ?(jobs = 1) timings =
+  { Caqr.Pipeline.default with collect_metrics = timings; jobs }
 
 let print_metrics (r : Caqr.Pipeline.report) =
   match r.Caqr.Pipeline.metrics with
@@ -144,10 +155,10 @@ let list_cmd =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run entry strategy qasm timings =
+  let run entry strategy qasm timings jobs =
     let device = device_for entry in
     let r =
-      Caqr.Pipeline.compile ~options:(options_for timings) device strategy
+      Caqr.Pipeline.compile ~options:(options_for ~jobs timings) device strategy
         (input_of_entry entry)
     in
     Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@."
@@ -161,38 +172,28 @@ let compile_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "compile" ~doc:"Compile a benchmark")
-    Cmdliner.Term.(const run $ bench_pos $ strategy_flag $ qasm_flag $ timings_flag)
+    Cmdliner.Term.(
+      const run $ bench_pos $ strategy_flag $ qasm_flag $ timings_flag
+      $ jobs_flag)
 
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run entry =
+  let run entry jobs =
     let device = device_for entry in
     Printf.printf "%-8s %-12s %-14s %-14s %-8s\n" "qubits" "log.depth"
       "compiled.depth" "duration(dt)" "swaps";
-    let row usage logical_depth circuit =
-      let compacted, _ = Quantum.Circuit.compact_qubits circuit in
-      let st = (Transpiler.Transpile.run device compacted).Transpiler.Transpile.stats in
-      Printf.printf "%-8d %-12d %-14d %-14d %-8d\n" usage logical_depth
-        st.Transpiler.Transpile.depth st.Transpiler.Transpile.duration_dt
-        st.Transpiler.Transpile.swaps
-    in
-    match entry.Benchmarks.Suite.kind with
-    | Benchmarks.Suite.Regular ->
-      List.iter
-        (fun (s : Caqr.Qs_caqr.step) ->
-          row s.Caqr.Qs_caqr.usage s.Caqr.Qs_caqr.logical_depth s.Caqr.Qs_caqr.circuit)
-        (Caqr.Qs_caqr.sweep entry.Benchmarks.Suite.circuit)
-    | Benchmarks.Suite.Commutable g ->
-      List.iter
-        (fun (s : Caqr.Commute.step) ->
-          row s.Caqr.Commute.usage s.Caqr.Commute.depth
-            (Caqr.Commute.emit s.Caqr.Commute.plan))
-        (Caqr.Commute.sweep g)
+    List.iter
+      (fun (r : Caqr.Pipeline.sweep_row) ->
+        Printf.printf "%-8d %-12d %-14d %-14d %-8d\n" r.Caqr.Pipeline.usage
+          r.Caqr.Pipeline.logical_depth r.Caqr.Pipeline.stats.Transpiler.Transpile.depth
+          r.Caqr.Pipeline.stats.Transpiler.Transpile.duration_dt
+          r.Caqr.Pipeline.stats.Transpiler.Transpile.swaps)
+      (Caqr.Pipeline.sweep_stats ~jobs device (input_of_entry entry))
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sweep" ~doc:"Print the qubit/depth tradeoff table")
-    Cmdliner.Term.(const run $ bench_pos)
+    Cmdliner.Term.(const run $ bench_pos $ jobs_flag)
 
 (* ---- check ---- *)
 
@@ -215,7 +216,7 @@ let qasmc_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some file) None & info [] ~docv:"FILE.qasm")
   in
-  let run path strategy qasm timings =
+  let run path strategy qasm timings jobs =
     let text =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -232,8 +233,8 @@ let qasmc_cmd =
         Hardware.Device.heavy_hex_for circuit.Quantum.Circuit.num_qubits
       in
       let r =
-        Caqr.Pipeline.compile ~options:(options_for timings) device strategy
-          (Caqr.Pipeline.Regular circuit)
+        Caqr.Pipeline.compile ~options:(options_for ~jobs timings) device
+          strategy (Caqr.Pipeline.Regular circuit)
       in
       Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@." path
         (Caqr.Pipeline.strategy_name strategy)
@@ -246,17 +247,24 @@ let qasmc_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "qasmc" ~doc:"Compile an OpenQASM file with CaQR")
-    Cmdliner.Term.(const run $ file_pos $ strategy_flag $ qasm_flag $ timings_flag)
+    Cmdliner.Term.(
+      const run $ file_pos $ strategy_flag $ qasm_flag $ timings_flag
+      $ jobs_flag)
 
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run entry strategy noisy shots seed =
+  let run entry strategy noisy shots seed jobs =
     let device = device_for entry in
-    let r = Caqr.Pipeline.compile device strategy (input_of_entry entry) in
+    let r =
+      Caqr.Pipeline.compile ~options:(options_for ~jobs false) device strategy
+        (input_of_entry entry)
+    in
     let counts =
+      (* The noise model keeps one monolithic RNG stream per run, so it
+         stays sequential; ideal sampling shot-splits over the pool. *)
       if noisy then Sim.Noise.run ~device ~seed ~shots r.Caqr.Pipeline.physical
-      else Sim.Executor.run ~seed ~shots r.Caqr.Pipeline.physical
+      else Sim.Executor.run ~jobs ~seed ~shots r.Caqr.Pipeline.physical
     in
     Format.printf "%s / %s (%s, %d shots):@.%a@." entry.Benchmarks.Suite.name
       (Caqr.Pipeline.strategy_name strategy)
@@ -266,22 +274,30 @@ let simulate_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "simulate" ~doc:"Compile and simulate a benchmark")
     Cmdliner.Term.(
-      const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag $ seed_flag)
+      const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag
+      $ seed_flag $ jobs_flag)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run entry level seed =
+  let run entry level seed jobs =
     let device = device_for entry in
     let input = input_of_entry entry in
-    let options = { Caqr.Pipeline.default with verify = Some level; seed } in
+    let options =
+      { Caqr.Pipeline.default with verify = Some level; seed; jobs }
+    in
     Printf.printf "%s — translation validation (level %s, seed %d)\n"
       entry.Benchmarks.Suite.name (Verify.level_name level) seed;
     Printf.printf "%-18s %-8s %s\n" "strategy" "pairs" "verdict";
     let failed = ref false in
-    List.iter
-      (fun (name, strategy) ->
-        let r = Caqr.Pipeline.compile ~options device strategy input in
+    (* The strategy fan-out (compile + verify per strategy) runs on the
+       pool; printing happens afterwards, in strategy order. *)
+    let reports =
+      Caqr.Pipeline.compile_all ~options device
+        (List.map snd all_strategies) input
+    in
+    List.iter2
+      (fun (name, _) (r : Caqr.Pipeline.report) ->
         let verdict =
           match r.Caqr.Pipeline.verification with
           | Some v -> v
@@ -290,7 +306,7 @@ let verify_cmd =
         if Verify.Verdict.is_inequivalent verdict then failed := true;
         Printf.printf "%-18s %-8d %s\n%!" name r.Caqr.Pipeline.reuse_pairs
           (Verify.Verdict.to_string verdict))
-      all_strategies;
+      all_strategies reports;
     if !failed then begin
       Printf.eprintf "verification FAILED: a strategy emitted an inequivalent circuit\n";
       exit 1
@@ -301,7 +317,7 @@ let verify_cmd =
        ~doc:
          "Compile a benchmark with every strategy and translation-validate \
           each output; exits non-zero if any verdict is inequivalent")
-    Cmdliner.Term.(const run $ bench_pos $ level_flag $ seed_flag)
+    Cmdliner.Term.(const run $ bench_pos $ level_flag $ seed_flag $ jobs_flag)
 
 (* ---- fuzz ---- *)
 
@@ -358,7 +374,7 @@ let fuzz_cmd =
       value & flag
       & info [ "no-corpus" ] ~doc:"Do not persist counterexamples.")
   in
-  let run seed cases max_qubits max_gates oracles corpus no_corpus timings =
+  let run seed cases max_qubits max_gates oracles corpus no_corpus timings jobs =
     if timings then Obs.Metrics.reset ();
     let config =
       {
@@ -370,7 +386,7 @@ let fuzz_cmd =
     let oracles = if oracles = [] then Fuzz.Oracle.all else oracles in
     let corpus_dir = if no_corpus then None else corpus in
     let summary =
-      Fuzz.Driver.run ~config ~oracles ?corpus_dir ~seed ~cases ()
+      Fuzz.Driver.run ~config ~oracles ?corpus_dir ~jobs ~seed ~cases ()
     in
     Format.printf "%a" Fuzz.Driver.pp_summary summary;
     if timings then Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
@@ -385,7 +401,7 @@ let fuzz_cmd =
     Cmdliner.Term.(
       const run $ fuzz_seed_flag $ cases_flag $ max_qubits_flag
       $ max_gates_flag $ oracles_flag $ corpus_flag $ no_corpus_flag
-      $ timings_flag)
+      $ timings_flag $ jobs_flag)
 
 let () =
   let info =

@@ -13,6 +13,9 @@ type options = {
   seed : int;
   collect_metrics : bool;
   search : Qs_caqr.search_opts;
+  jobs : int;
+      (* Domains for the candidate fan-out (Exec.Pool). Any value
+         produces byte-identical reports; >1 only changes wall clock. *)
 }
 
 let default =
@@ -21,6 +24,7 @@ let default =
     seed = 1;
     collect_metrics = false;
     search = Qs_caqr.default_opts;
+    jobs = 1;
   }
 
 type report = {
@@ -74,7 +78,16 @@ let qs_steps ~search input =
         (Commute.emit s.Commute.plan, Commute.pairs s.Commute.plan))
       (Commute.sweep g)
 
-let compile_unverified ~search device strategy input ~original =
+(* The sweep candidates are independent (transpile + stats each), so
+   they fan out across the pool; the candidate list keeps submission
+   order, which keeps the downstream sorts and picks deterministic. *)
+let finish_candidates ~jobs device strategy steps =
+  Exec.Pool.map ~jobs:(max 1 jobs)
+    (fun (c, pairs) ->
+      (finish device strategy c (List.length pairs), Some pairs))
+    steps
+
+let compile_unverified ~search ~jobs device strategy input ~original =
   match strategy with
   | Baseline -> (finish device strategy original 0, Some [])
   | Sr ->
@@ -113,12 +126,7 @@ let compile_unverified ~search device strategy input ~original =
           (finish device strategy c (List.length pairs), Some pairs)
         | [] -> invalid_arg "Pipeline.compile: empty sweep"))
   | Qs_min_depth ->
-    let candidates =
-      List.map
-        (fun (c, pairs) ->
-          (finish device strategy c (List.length pairs), Some pairs))
-        (qs_steps ~search input)
-    in
+    let candidates = finish_candidates ~jobs device strategy (qs_steps ~search input) in
     (match
        List.sort
          (fun (a, _) (b, _) ->
@@ -130,12 +138,7 @@ let compile_unverified ~search device strategy input ~original =
   | Qs_best_fidelity ->
     (* The paper's tunable objective: pick the reuse level whose compiled
        circuit maximizes estimated success probability. *)
-    let candidates =
-      List.map
-        (fun (c, pairs) ->
-          (finish device strategy c (List.length pairs), Some pairs))
-        (qs_steps ~search input)
-    in
+    let candidates = finish_candidates ~jobs device strategy (qs_steps ~search input) in
     (match
        List.sort
          (fun (a, _) (b, _) ->
@@ -166,7 +169,8 @@ let compile ?(options = default) device strategy input =
   if options.collect_metrics then Obs.Metrics.reset ();
   let original = logical_of_input input in
   let report, pairs =
-    compile_unverified ~search:options.search device strategy input ~original
+    compile_unverified ~search:options.search ~jobs:options.jobs device
+      strategy input ~original
   in
   let report =
     match options.verify with
@@ -196,6 +200,47 @@ let compile ?(options = default) device strategy input =
 
 let compile_legacy ?verify ?(seed = 1) device strategy input =
   compile ~options:{ default with verify; seed } device strategy input
+
+(* Strategy fan-out: each strategy's compile (and its verification, when
+   enabled) is an independent task. The inner compiles run with jobs=1 —
+   the outer fan-out already owns the domains, and nested pools would
+   oversubscribe without changing any result. *)
+let compile_all ?(options = default) device strategies input =
+  let inner = { options with jobs = 1 } in
+  Exec.Pool.map ~jobs:(max 1 options.jobs)
+    (fun strategy -> compile ~options:inner device strategy input)
+    strategies
+
+(* One row per reuse level of the tradeoff sweep, with the per-point
+   transpile work spread over the pool. *)
+type sweep_row = {
+  usage : int;
+  logical_depth : int;
+  stats : Transpiler.Transpile.stats;
+}
+
+let sweep_stats ?(jobs = 1) ?(search = Qs_caqr.default_opts) device input =
+  let points =
+    match input with
+    | Regular c ->
+      List.map
+        (fun (s : Qs_caqr.step) ->
+          (s.Qs_caqr.usage, s.Qs_caqr.logical_depth, s.Qs_caqr.circuit))
+        (Qs_caqr.sweep ~opts:search c)
+    | Commutable g ->
+      List.map
+        (fun (s : Commute.step) ->
+          (s.Commute.usage, s.Commute.depth, Commute.emit s.Commute.plan))
+        (Commute.sweep g)
+  in
+  Exec.Pool.map ~jobs:(max 1 jobs)
+    (fun (usage, logical_depth, circuit) ->
+      let compacted, _ = Quantum.Circuit.compact_qubits circuit in
+      let stats =
+        (Transpiler.Transpile.run device compacted).Transpiler.Transpile.stats
+      in
+      { usage; logical_depth; stats })
+    points
 
 let beneficial device input =
   match input with

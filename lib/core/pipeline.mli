@@ -29,6 +29,10 @@ type options = {
       (** reset {!Obs.Metrics} before compiling and attach a snapshot to
           the report *)
   search : Qs_caqr.search_opts;  (** QS-CaQR search configuration *)
+  jobs : int;
+      (** domains for the candidate fan-out via {!Exec.Pool}
+          (default 1). The report is byte-identical for every value;
+          [jobs > 1] only changes wall-clock time. *)
 }
 
 val default : options
@@ -74,6 +78,35 @@ val compile_legacy :
   report
 [@@ocaml.deprecated
   "build a Pipeline.options record and call Pipeline.compile instead"]
+
+(** [compile_all ?options device strategies input] compiles (and, when
+    [options.verify] is set, translation-validates) every strategy,
+    fanning the strategies out over [options.jobs] domains. The reports
+    come back in [strategies] order and are byte-identical to compiling
+    each strategy sequentially. *)
+val compile_all :
+  ?options:options ->
+  Hardware.Device.t ->
+  strategy list ->
+  input ->
+  report list
+
+(** One reuse level of the qubit/depth tradeoff sweep, transpiled. *)
+type sweep_row = {
+  usage : int;  (** logical wires at this reuse level *)
+  logical_depth : int;
+  stats : Transpiler.Transpile.stats;
+}
+
+(** [sweep_stats ?jobs ?search device input] — the full tradeoff table
+    (paper Figs. 3/13/14), with the per-point transpile work spread over
+    [jobs] domains. Rows keep sweep order. *)
+val sweep_stats :
+  ?jobs:int ->
+  ?search:Qs_caqr.search_opts ->
+  Hardware.Device.t ->
+  input ->
+  sweep_row list
 
 (** The paper's applicability test: does reuse help this input at all?
     Returns a human-readable verdict along with the boolean. *)

@@ -15,11 +15,16 @@ type summary = {
   failures : failure list;
 }
 
-let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ~seed ~cases
-    () =
+let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ?jobs ~seed
+    ~cases () =
   let master = Prng.make seed in
-  let failures = ref [] in
-  for i = 0 to cases - 1 do
+  (* Each case is a pure function of (master seed, index): generation
+     uses [split master i], oracle simulation a sibling stream — so the
+     batch fans out across the pool and the summary is byte-identical
+     for any [jobs] value. Only the oracle battery and shrinking run in
+     the workers; corpus writes happen afterwards, sequentially and in
+     submission order, so two failures never race on the manifest. *)
+  let check_case i =
     let rng = Prng.split master i in
     (* A stable per-case seed for the oracles' simulators and probes,
        drawn from a sibling stream so it never perturbs generation. *)
@@ -29,10 +34,10 @@ let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ~seed ~cases
     in
     let c = Gen.circuit config rng in
     Obs.Metrics.incr "fuzz.cases";
-    List.iter
+    List.filter_map
       (fun oracle ->
         match Oracle.check oracle ~seed:case_seed c with
-        | Oracle.Pass -> ()
+        | Oracle.Pass -> None
         | Oracle.Fail message ->
           Obs.Metrics.incr "fuzz.failures";
           let still_fails c' =
@@ -41,15 +46,7 @@ let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ~seed ~cases
             | Oracle.Pass -> false
           in
           let minimized, _checks = Shrink.minimize ~still_fails c in
-          let corpus_file =
-            Option.map
-              (fun dir ->
-                (Corpus.add ~dir ~seed:case_seed ~oracle ~note:message
-                   minimized)
-                  .Corpus.file)
-              corpus_dir
-          in
-          failures :=
+          Some
             {
               case_index = i;
               case_seed;
@@ -57,12 +54,25 @@ let run ?(config = Gen.default) ?(oracles = Oracle.all) ?corpus_dir ~seed ~cases
               message;
               original_gates = Quantum.Circuit.gate_count c;
               minimized;
-              corpus_file;
-            }
-            :: !failures)
+              corpus_file = None;
+            })
       oracles
-  done;
-  { seed; cases; oracles; failures = List.rev !failures }
+  in
+  let failures =
+    Exec.Pool.map ?jobs check_case (List.init cases Fun.id)
+    |> List.concat
+    |> List.map (fun f ->
+           let corpus_file =
+             Option.map
+               (fun dir ->
+                 (Corpus.add ~dir ~seed:f.case_seed ~oracle:f.oracle
+                    ~note:f.message f.minimized)
+                   .Corpus.file)
+               corpus_dir
+           in
+           { f with corpus_file })
+  in
+  { seed; cases; oracles; failures }
 
 let pp_summary ppf s =
   Format.fprintf ppf "fuzz: seed %d, %d cases, oracles [%s]@." s.seed s.cases

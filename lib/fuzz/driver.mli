@@ -27,12 +27,19 @@ type summary = {
   failures : failure list;  (** in case order *)
 }
 
-(** [run ?config ?oracles ?corpus_dir ~seed ~cases ()] — [oracles]
-    defaults to {!Oracle.all}, [corpus_dir] to [None] (don't persist). *)
+(** [run ?config ?oracles ?corpus_dir ?jobs ~seed ~cases ()] — [oracles]
+    defaults to {!Oracle.all}, [corpus_dir] to [None] (don't persist).
+
+    [jobs] fans the case batch out over {!Exec.Pool} domains (default:
+    {!Exec.Pool.default_jobs}); the summary is byte-identical for every
+    value because each case is a pure function of [(seed, index)].
+    Corpus writes stay sequential, in case order, after all domains have
+    joined. *)
 val run :
   ?config:Gen.config ->
   ?oracles:Oracle.t list ->
   ?corpus_dir:string ->
+  ?jobs:int ->
   seed:int ->
   cases:int ->
   unit ->

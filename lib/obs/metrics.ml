@@ -1,23 +1,32 @@
-(* Process-global counter / timer registry. Single-threaded by design,
-   like the rest of the compiler: no locking. *)
+(* Process-global counter / timer registry. The tables are shared by
+   every domain the execution pool spawns, so each operation takes a
+   single global mutex; contention is negligible because the hot loops
+   increment a handful of counters per compiled circuit, not per gate. *)
+
+let lock = Mutex.create ()
+let protected f = Mutex.protect lock f
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 let timers : (string, float ref) Hashtbl.t = Hashtbl.create 32
 
 let reset () =
+  protected @@ fun () ->
   Hashtbl.reset counters;
   Hashtbl.reset timers
 
 let incr ?(by = 1) name =
+  protected @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.add counters name (ref by)
 
 let count name =
+  protected @@ fun () ->
   match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
 
 let add_time name dt =
   let dt = if dt < 0. then 0. else dt in
+  protected @@ fun () ->
   match Hashtbl.find_opt timers name with
   | Some r -> r := !r +. dt
   | None -> Hashtbl.add timers name (ref dt)
@@ -27,6 +36,7 @@ let time name f =
   Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
 
 let timing name =
+  protected @@ fun () ->
   match Hashtbl.find_opt timers name with Some r -> !r | None -> 0.
 
 type snapshot = {
@@ -35,6 +45,7 @@ type snapshot = {
 }
 
 let snapshot () =
+  protected @@ fun () ->
   let dump tbl read = Hashtbl.fold (fun k r acc -> (k, read r) :: acc) tbl [] in
   {
     counters = List.sort compare (dump counters ( ! ));

@@ -1,6 +1,11 @@
 (** Pipeline-wide observability: named counters and wall-clock phase
     timers, kept in a single process-global registry.
 
+    The registry is domain-safe: every operation takes one global mutex,
+    so instrumented passes may run inside [Exec.Pool] workers. Counter
+    totals stay deterministic under parallelism (per-task increments
+    commute); which domain contributed is not recorded.
+
     The compiler passes are instrumented unconditionally — a counter bump
     is two hash lookups — so callers decide only when to {!reset} and when
     to {!snapshot}. [Pipeline.compile] does both when asked to collect

@@ -11,6 +11,26 @@ let add t outcome =
 let total t = t.total
 let get t outcome = Option.value ~default:0 (Hashtbl.find_opt t.table outcome)
 
+let to_list t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+
+let equal a b = a.num_clbits = b.num_clbits && to_list a = to_list b
+
+(* Per-outcome addition: associative and commutative with [create] as
+   identity, which is what lets the execution pool merge per-batch shot
+   counts in any grouping and still match the sequential run. *)
+let merge a b =
+  if a.num_clbits <> b.num_clbits then
+    invalid_arg "Counts.merge: clbit width mismatch";
+  let t = create ~num_clbits:a.num_clbits in
+  let pour src =
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.table k (get t k + v)) src.table;
+    t.total <- t.total + src.total
+  in
+  pour a;
+  pour b;
+  t
+
 let to_probs t =
   if t.total = 0 then []
   else

@@ -10,6 +10,19 @@ val add : t -> int -> unit
 val total : t -> int
 val get : t -> int -> int
 
+(** All [(outcome, count)] pairs, sorted by outcome — a canonical form
+    for byte-level determinism comparisons. *)
+val to_list : t -> (int * int) list
+
+(** Same width and same per-outcome counts. *)
+val equal : t -> t -> bool
+
+(** [merge a b] sums per-outcome counts. Associative and commutative
+    with [create] as identity — the algebra the execution pool's
+    shot-splitting relies on. Raises [Invalid_argument] when the clbit
+    widths differ. *)
+val merge : t -> t -> t
+
 (** Outcome frequencies as a probability map (only nonzero entries). *)
 val to_probs : t -> (int * float) list
 

@@ -20,14 +20,42 @@ let run_shot rng (c : Quantum.Circuit.t) =
 
 let compact c = fst (Quantum.Circuit.compact_qubits c)
 
-let run ~seed ~shots circuit =
+(* Shots are sampled in fixed-size batches. Batch [i]'s RNG is a pure
+   function of (seed, i) — via the splittable stream the pool hands each
+   task — so the merged counts are byte-identical for every [jobs]
+   value, and identical again to the jobs=1 run. The batch size is a
+   constant, NOT derived from [jobs]: deriving it from [jobs] would
+   change the stream partition and break the determinism contract. *)
+let shots_per_batch = 256
+
+let rng_of_prng prng =
+  let word () = Int64.to_int (Int64.logand (Exec.Prng.bits64 prng) 0x3FFFFFFFL) in
+  Random.State.make [| word (); word (); 0xe7ec |]
+
+let run ?jobs ~seed ~shots circuit =
   let circuit = compact circuit in
-  let rng = Random.State.make [| seed; 0xe7ec |] in
-  let counts = Counts.create ~num_clbits:circuit.num_clbits in
-  for _ = 1 to shots do
-    Counts.add counts (run_shot rng circuit)
-  done;
-  counts
+  if shots <= 0 then Counts.create ~num_clbits:circuit.num_clbits
+  else begin
+    let batches = (shots + shots_per_batch - 1) / shots_per_batch in
+    let sizes =
+      List.init batches (fun i ->
+          min shots_per_batch (shots - (i * shots_per_batch)))
+    in
+    let parts =
+      Exec.Pool.map_seeded ?jobs ~seed
+        (fun prng size ->
+          let rng = rng_of_prng prng in
+          let counts = Counts.create ~num_clbits:circuit.num_clbits in
+          for _ = 1 to size do
+            Counts.add counts (run_shot rng circuit)
+          done;
+          counts)
+        sizes
+    in
+    List.fold_left Counts.merge
+      (Counts.create ~num_clbits:circuit.num_clbits)
+      parts
+  end
 
 (* Dynamic ops other than a trailing block of measurements make the
    distribution shot-dependent. *)

@@ -7,8 +7,13 @@
     active wires so a 27-qubit device circuit using 13 qubits simulates on
     13. *)
 
-(** [run ~seed ~shots circuit] samples the classical register. *)
-val run : seed:int -> shots:int -> Quantum.Circuit.t -> Counts.t
+(** [run ?jobs ~seed ~shots circuit] samples the classical register.
+
+    Shots are drawn in fixed 256-shot batches whose RNG streams are pure
+    functions of [(seed, batch index)] and fanned out over
+    {!Exec.Pool}; the merged counts are byte-identical for every [jobs]
+    value (default: {!Exec.Pool.default_jobs}). *)
+val run : ?jobs:int -> seed:int -> shots:int -> Quantum.Circuit.t -> Counts.t
 
 (** Exact outcome distribution for circuits whose only dynamic operations
     are final measurements; falls back to 4096-shot sampling otherwise. *)

@@ -1,0 +1,127 @@
+(* The Counts.merge algebra the execution pool's shot-splitting relies
+   on: merge must be associative and commutative with an empty histogram
+   as identity, so that folding per-batch histograms in submission order
+   equals any other association — and split-shot sampling must agree
+   statistically with a single-stream run. *)
+
+let to_alcotest t =
+  let (QCheck2.Test.Test cell) = t in
+  let name = QCheck2.Test.get_name cell in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xc0a7; Hashtbl.hash name |])
+    t
+
+(* ---- generators ---- *)
+
+let num_clbits = 4
+
+let counts_gen =
+  QCheck.Gen.(
+    list_size (int_bound 12) (pair (int_bound ((1 lsl num_clbits) - 1)) (1 -- 50))
+    >|= fun entries ->
+    let t = Sim.Counts.create ~num_clbits in
+    List.iter
+      (fun (outcome, n) ->
+        for _ = 1 to n do
+          Sim.Counts.add t outcome
+        done)
+      entries;
+    t)
+
+let print_counts t =
+  String.concat "; "
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%d:%d" k v)
+       (Sim.Counts.to_list t))
+
+let arb_counts = QCheck.make counts_gen ~print:print_counts
+
+(* ---- algebraic laws ---- *)
+
+let prop_assoc =
+  QCheck.Test.make ~name:"merge: associative" ~count:200
+    (QCheck.triple arb_counts arb_counts arb_counts) (fun (a, b, c) ->
+      Sim.Counts.equal
+        (Sim.Counts.merge (Sim.Counts.merge a b) c)
+        (Sim.Counts.merge a (Sim.Counts.merge b c)))
+
+let prop_comm =
+  QCheck.Test.make ~name:"merge: commutative" ~count:200
+    (QCheck.pair arb_counts arb_counts) (fun (a, b) ->
+      Sim.Counts.equal (Sim.Counts.merge a b) (Sim.Counts.merge b a))
+
+let prop_identity =
+  QCheck.Test.make ~name:"merge: empty is identity" ~count:200 arb_counts
+    (fun a ->
+      let empty = Sim.Counts.create ~num_clbits in
+      Sim.Counts.equal (Sim.Counts.merge a empty) a
+      && Sim.Counts.equal (Sim.Counts.merge empty a) a)
+
+let prop_total =
+  QCheck.Test.make ~name:"merge: totals add" ~count:200
+    (QCheck.pair arb_counts arb_counts) (fun (a, b) ->
+      Sim.Counts.total (Sim.Counts.merge a b)
+      = Sim.Counts.total a + Sim.Counts.total b)
+
+let test_merge_width_mismatch () =
+  let a = Sim.Counts.create ~num_clbits:2 in
+  let b = Sim.Counts.create ~num_clbits:3 in
+  match Sim.Counts.merge a b with
+  | _ -> Alcotest.fail "merge across clbit widths should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- statistical sanity: split-shot vs single-stream sampling ---- *)
+
+(* The split run (seed 5, several 256-shot batches) and a single-stream
+   run (a different seed, hence an entirely independent random stream)
+   sample the same circuit; both empirical distributions must sit within
+   TVD tolerance of each other. This is the check that per-batch PRNG
+   splitting did not bias the sampled distribution, only reshuffle which
+   stream produces which shot. *)
+let test_split_matches_single_stream () =
+  let module B = Quantum.Circuit.Builder in
+  let b = B.create ~num_qubits:2 ~num_clbits:2 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 0 0;
+  B.if_x b 0 1;
+  B.measure b 1 1;
+  let c = B.build b in
+  let shots = 4096 in
+  (* 4096 shots = 16 batches when split; 1 batch would need shots <= 256. *)
+  let split = Sim.Executor.run ~jobs:4 ~seed:5 ~shots c in
+  let single = Sim.Executor.run ~jobs:1 ~seed:977 ~shots:256 c in
+  Alcotest.check Alcotest.int "split total" shots (Sim.Counts.total split);
+  let tvd = Sim.Counts.tvd split single in
+  if tvd > 0.08 then
+    Alcotest.fail
+      (Printf.sprintf
+         "split-shot and single-stream distributions diverge: TVD %.4f > 0.08"
+         tvd);
+  (* Bell + correction collapses outcomes onto {00, 01}: bit 1 is
+     always flipped back to 0 by the classically-controlled X. *)
+  List.iter
+    (fun (outcome, _) ->
+      if outcome land 2 <> 0 then
+        Alcotest.fail
+          (Printf.sprintf "impossible outcome %d sampled" outcome))
+    (Sim.Counts.to_list split)
+
+let () =
+  Alcotest.run "counts"
+    [
+      ( "merge-algebra",
+        [
+          to_alcotest prop_assoc;
+          to_alcotest prop_comm;
+          to_alcotest prop_identity;
+          to_alcotest prop_total;
+          Alcotest.test_case "width mismatch raises" `Quick
+            test_merge_width_mismatch;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "split vs single-stream TVD" `Quick
+            test_split_matches_single_stream;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* The execution pool's determinism contract: byte-identical results for
+   any jobs value, submission-ordered merge, first-failure exception
+   semantics — plus the three hot paths threaded through it
+   (Pipeline.compile, Fuzz.Driver, Sim.Executor). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let jobs_grid = [ 1; 2; 4 ]
+
+(* ---- pool semantics ---- *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 37 Fun.id in
+  let expect = List.map (fun x -> (x * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Exec.Pool.map ~jobs (fun x -> (x * x) + 1) xs))
+    jobs_grid
+
+let test_empty_task_list () =
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "empty at jobs=%d" jobs)
+        []
+        (Exec.Pool.map ~jobs (fun x -> x) []))
+    jobs_grid
+
+let test_jobs_exceed_tasks () =
+  check (Alcotest.list int) "3 tasks, 16 jobs" [ 0; 2; 4 ]
+    (Exec.Pool.map ~jobs:16 (fun x -> 2 * x) [ 0; 1; 2 ]);
+  check (Alcotest.list int) "1 task, 4 jobs" [ 7 ]
+    (Exec.Pool.map ~jobs:4 (fun x -> x) [ 7 ])
+
+let test_jobs_clamped () =
+  (* Nonsensical values degrade to 1 rather than raising. *)
+  check (Alcotest.list int) "jobs=0" [ 1; 2 ]
+    (Exec.Pool.map ~jobs:0 (fun x -> x) [ 1; 2 ]);
+  check (Alcotest.list int) "jobs=-3" [ 1; 2 ]
+    (Exec.Pool.map ~jobs:(-3) (fun x -> x) [ 1; 2 ])
+
+let test_exception_mid_batch () =
+  (* Every task runs; the FIRST failing task in submission order wins,
+     regardless of which domain hit its exception first. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failure at jobs=%d" jobs)
+        (Failure "task 5") (fun () ->
+          ignore
+            (Exec.Pool.map ~jobs
+               (fun x ->
+                 if x >= 5 then failwith (Printf.sprintf "task %d" x) else x)
+               (List.init 12 Fun.id))))
+    jobs_grid
+
+let test_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  let expect = List.mapi (fun i s -> Printf.sprintf "%d%s" i s) xs in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "mapi jobs=%d" jobs)
+        expect
+        (Exec.Pool.mapi ~jobs (fun i s -> Printf.sprintf "%d%s" i s) xs))
+    jobs_grid
+
+let test_seeded_streams_stable () =
+  (* Task i's stream depends on (seed, i) only — not on jobs. *)
+  let draw prng _ = Exec.Prng.int prng 1_000_000 in
+  let xs = List.init 23 Fun.id in
+  let reference = Exec.Pool.map_seeded ~jobs:1 ~seed:99 draw xs in
+  List.iter
+    (fun jobs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "seeded jobs=%d" jobs)
+        reference
+        (Exec.Pool.map_seeded ~jobs ~seed:99 draw xs))
+    jobs_grid;
+  (* ... and a different seed gives a different stream. *)
+  Alcotest.check bool "seed matters" false
+    (reference = Exec.Pool.map_seeded ~jobs:1 ~seed:100 draw xs)
+
+(* ---- hot path 1: Pipeline.compile ---- *)
+
+let entry name = Benchmarks.Suite.find name
+
+let report_fingerprint (r : Caqr.Pipeline.report) =
+  ( Quantum.Qasm.to_string
+      (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)),
+    r.Caqr.Pipeline.stats,
+    r.Caqr.Pipeline.reuse_pairs )
+
+let test_pipeline_determinism () =
+  let e = entry "BV_10" in
+  let input = Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit in
+  let device =
+    Hardware.Device.heavy_hex_for
+      e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
+  in
+  List.iter
+    (fun strategy ->
+      let run jobs =
+        report_fingerprint
+          (Caqr.Pipeline.compile
+             ~options:{ Caqr.Pipeline.default with jobs }
+             device strategy input)
+      in
+      let reference = run 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.check bool
+            (Printf.sprintf "%s jobs=%d byte-identical"
+               (Caqr.Pipeline.strategy_name strategy)
+               jobs)
+            true
+            (run jobs = reference))
+        jobs_grid)
+    [ Caqr.Pipeline.Qs_min_depth; Caqr.Pipeline.Qs_best_fidelity ]
+
+let test_compile_all_matches_sequential () =
+  let e = entry "XOR_5" in
+  let input = Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit in
+  let device =
+    Hardware.Device.heavy_hex_for
+      e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
+  in
+  let strategies =
+    [ Caqr.Pipeline.Baseline; Caqr.Pipeline.Qs_max_reuse; Caqr.Pipeline.Sr ]
+  in
+  let sequential =
+    List.map
+      (fun s ->
+        report_fingerprint (Caqr.Pipeline.compile device s input))
+      strategies
+  in
+  List.iter
+    (fun jobs ->
+      let fanned =
+        List.map report_fingerprint
+          (Caqr.Pipeline.compile_all
+             ~options:{ Caqr.Pipeline.default with jobs }
+             device strategies input)
+      in
+      Alcotest.check bool
+        (Printf.sprintf "fan-out jobs=%d" jobs)
+        true (fanned = sequential))
+    jobs_grid
+
+let test_sweep_stats_determinism () =
+  let e = entry "CC_10" in
+  let device =
+    Hardware.Device.heavy_hex_for
+      e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
+  in
+  let input = Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit in
+  let reference = Caqr.Pipeline.sweep_stats ~jobs:1 device input in
+  Alcotest.check bool "sweep is non-trivial" true (List.length reference > 1);
+  List.iter
+    (fun jobs ->
+      Alcotest.check bool
+        (Printf.sprintf "sweep jobs=%d" jobs)
+        true
+        (Caqr.Pipeline.sweep_stats ~jobs device input = reference))
+    jobs_grid
+
+(* ---- hot path 2: Fuzz.Driver ---- *)
+
+let test_fuzz_driver_determinism () =
+  let config =
+    { Fuzz.Gen.default with Fuzz.Gen.max_qubits = 5; max_gates = 24 }
+  in
+  let summary jobs =
+    Format.asprintf "%a" Fuzz.Driver.pp_summary
+      (Fuzz.Driver.run ~config ~jobs ~seed:7 ~cases:24 ())
+  in
+  let reference = summary 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "fuzz summary jobs=%d" jobs)
+        reference (summary jobs))
+    jobs_grid
+
+(* ---- hot path 3: Sim.Executor shot-splitting ---- *)
+
+let test_executor_determinism () =
+  let module B = Quantum.Circuit.Builder in
+  let b = B.create ~num_qubits:3 ~num_clbits:3 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 0 0;
+  B.if_x b 0 2;
+  B.measure b 1 1;
+  B.measure b 2 2;
+  let c = B.build b in
+  (* 1300 shots spans several 256-shot batches plus a ragged tail. *)
+  let run jobs = Sim.Counts.to_list (Sim.Executor.run ~jobs ~seed:5 ~shots:1300 c) in
+  let reference = run 1 in
+  Alcotest.check bool "sampled something" true (reference <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.check
+        (Alcotest.list (Alcotest.pair int int))
+        (Printf.sprintf "counts jobs=%d" jobs)
+        reference (run jobs))
+    jobs_grid;
+  check int "totals preserved" 1300
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 reference)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty task list" `Quick test_empty_task_list;
+          Alcotest.test_case "jobs > tasks" `Quick test_jobs_exceed_tasks;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "exception mid-batch" `Quick test_exception_mid_batch;
+          Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
+          Alcotest.test_case "seeded streams stable" `Quick test_seeded_streams_stable;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pipeline jobs 1/2/4" `Quick test_pipeline_determinism;
+          Alcotest.test_case "compile_all fan-out" `Quick test_compile_all_matches_sequential;
+          Alcotest.test_case "sweep_stats jobs 1/2/4" `Quick test_sweep_stats_determinism;
+          Alcotest.test_case "fuzz driver jobs 1/2/4" `Quick test_fuzz_driver_determinism;
+          Alcotest.test_case "executor jobs 1/2/4" `Quick test_executor_determinism;
+        ] );
+    ]

@@ -283,6 +283,43 @@ let test_longer_idle_means_more_error () =
   let sr c = Sim.Counts.success_rate (Sim.Noise.run ~device:dev ~seed:8 ~shots:600 c) 1 in
   check bool "more gates, not better" true (sr slow <= sr quick +. 0.02)
 
+let test_noise_reset_path () =
+  (* H; measure; reset; measure — the post-reset read is pinned to 0 up
+     to readout error, even though the first read is a fair coin. This
+     exercises the reset channel under Mumbai's nonzero idle/readout
+     noise, which no other test covers. *)
+  let b = B.create ~num_qubits:27 ~num_clbits:2 in
+  B.h b 0;
+  B.measure b 0 0;
+  B.reset b 0;
+  B.measure b 0 1;
+  let c = B.build b in
+  let counts = Sim.Noise.run ~device:(device ()) ~seed:9 ~shots:600 c in
+  let zeros =
+    Sim.Counts.expectation counts (fun o -> if o land 2 = 0 then 1.0 else 0.0)
+  in
+  check bool "post-reset reads 0 w.h.p." true (zeros > 0.9);
+  let ones_first =
+    Sim.Counts.expectation counts (fun o -> float_of_int (o land 1))
+  in
+  check bool "pre-reset read stays a fair coin" true
+    (ones_first > 0.35 && ones_first < 0.65)
+
+let test_noise_if_x_path () =
+  (* X; measure; If_x — the classically-controlled correction flips the
+     qubit back, so (c0=1, c1=0) dominates; noise makes it imperfect.
+     Exercises the conditional-X channel under nonzero noise. *)
+  let b = B.create ~num_qubits:27 ~num_clbits:2 in
+  B.x b 0;
+  B.measure b 0 0;
+  B.if_x b 0 0;
+  B.measure b 0 1;
+  let c = B.build b in
+  let counts = Sim.Noise.run ~device:(device ()) ~seed:10 ~shots:600 c in
+  let sr = Sim.Counts.success_rate counts 0b01 in
+  check bool "corrected outcome dominates" true (sr > 0.8);
+  check bool "noise leaves a residue" true (sr < 1.0)
+
 let () =
   Alcotest.run "sim"
     [
@@ -324,5 +361,7 @@ let () =
           Alcotest.test_case "tvd positive" `Quick test_noise_tvd_positive;
           Alcotest.test_case "ideal device" `Quick test_noise_ideal_device_is_noiseless;
           Alcotest.test_case "idle accumulates" `Quick test_longer_idle_means_more_error;
+          Alcotest.test_case "reset under noise" `Quick test_noise_reset_path;
+          Alcotest.test_case "conditional X under noise" `Quick test_noise_if_x_path;
         ] );
     ]
