@@ -7,7 +7,11 @@
      check    <bench>          reuse applicability verdict
      simulate <bench>          compile and run (optionally noisy) simulation
      verify   <bench>          translation-validate every strategy's output
-     fuzz                      differential fuzzing with replayable seeds *)
+     fuzz                      differential fuzzing with replayable seeds
+     chaos                     fault-injection sweep over every guard site
+
+   Exit codes (see README): 0 success; 1 verification/oracle violation;
+   2 usage error; 3 compile degraded to baseline; 4 internal error. *)
 
 let all_strategies =
   [
@@ -104,8 +108,60 @@ let jobs_flag =
            wall-clock time changes. Defaults to the runtime's recommended \
            domain count (capped).")
 
-let options_for ?(jobs = 1) timings =
-  { Caqr.Pipeline.default with collect_metrics = timings; jobs }
+let timeout_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Cooperative wall-clock budget for the compile. Hot loops poll \
+           the deadline and trip a typed budget error; with $(b,--fallback) \
+           the degradation ladder turns the trip into a demotion.")
+
+let fallback_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "fallback" ]
+        ~doc:
+          "Supervise the compile with the degradation ladder: a failing \
+           strategy demotes toward baseline instead of aborting. Exits 3 \
+           when the compile only succeeded by demoting to baseline.")
+
+let max_sim_qubits_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-sim-qubits" ] ~docv:"N"
+        ~doc:
+          "Cap the state-vector simulator width (default 24, hard ceiling \
+           26). Over-cap circuits are refused with a structured error \
+           instead of an allocation blow-up.")
+
+let apply_sim_cap = Option.iter Sim.State.set_max_qubits
+
+let options_for ?(jobs = 1) ?deadline_ms ?(fallback = false) timings =
+  {
+    Caqr.Pipeline.default with
+    collect_metrics = timings;
+    jobs;
+    fallback;
+    deadline_ms;
+  }
+
+(* Exit 3: the ladder saved the run, but only by abandoning reuse
+   entirely — scripts relying on a reuse strategy need to know. *)
+let report_degradation requested (r : Caqr.Pipeline.report) =
+  List.iter
+    (fun (d : Caqr.Pipeline.degraded) ->
+      Printf.eprintf "degraded: %s failed: %s\n"
+        (Caqr.Pipeline.strategy_name d.Caqr.Pipeline.from_strategy)
+        (Guard.Error.to_string d.Caqr.Pipeline.error))
+    r.Caqr.Pipeline.degraded;
+  if
+    r.Caqr.Pipeline.degraded <> []
+    && r.Caqr.Pipeline.strategy = Caqr.Pipeline.Baseline
+    && requested <> Caqr.Pipeline.Baseline
+  then exit 3
 
 let print_metrics (r : Caqr.Pipeline.report) =
   match r.Caqr.Pipeline.metrics with
@@ -155,26 +211,28 @@ let list_cmd =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run entry strategy qasm timings jobs =
+  let run entry strategy qasm timings jobs deadline_ms fallback =
     let device = device_for entry in
     let r =
-      Caqr.Pipeline.compile ~options:(options_for ~jobs timings) device strategy
-        (input_of_entry entry)
+      Caqr.Pipeline.compile
+        ~options:(options_for ~jobs ?deadline_ms ~fallback timings)
+        device strategy (input_of_entry entry)
     in
     Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@."
       entry.Benchmarks.Suite.name
-      (Caqr.Pipeline.strategy_name strategy)
+      (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy)
       Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
     print_metrics r;
     if qasm then
       print_string
-        (Quantum.Qasm.to_string (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
+        (Quantum.Qasm.to_string (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)));
+    report_degradation strategy r
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "compile" ~doc:"Compile a benchmark")
     Cmdliner.Term.(
       const run $ bench_pos $ strategy_flag $ qasm_flag $ timings_flag
-      $ jobs_flag)
+      $ jobs_flag $ timeout_flag $ fallback_flag)
 
 (* ---- sweep ---- *)
 
@@ -216,7 +274,7 @@ let qasmc_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some file) None & info [] ~docv:"FILE.qasm")
   in
-  let run path strategy qasm timings jobs =
+  let run path strategy qasm timings jobs deadline_ms fallback =
     let text =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -224,37 +282,42 @@ let qasmc_cmd =
       close_in ic;
       s
     in
-    match Quantum.Qasm_parser.of_string text with
-    | exception Failure msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 1
-    | circuit ->
+    match Quantum.Qasm_parser.parse text with
+    | Error e ->
+      (* A malformed input is a usage error, not an internal one; the
+         diagnostic carries the offending line and column. *)
+      Printf.eprintf "%s: %s\n" path (Guard.Error.to_string e);
+      exit 2
+    | Ok circuit ->
       let device =
         Hardware.Device.heavy_hex_for circuit.Quantum.Circuit.num_qubits
       in
       let r =
-        Caqr.Pipeline.compile ~options:(options_for ~jobs timings) device
-          strategy (Caqr.Pipeline.Regular circuit)
+        Caqr.Pipeline.compile
+          ~options:(options_for ~jobs ?deadline_ms ~fallback timings)
+          device strategy (Caqr.Pipeline.Regular circuit)
       in
       Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@." path
-        (Caqr.Pipeline.strategy_name strategy)
+        (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy)
         Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
       print_metrics r;
       if qasm then
         print_string
           (Quantum.Qasm.to_string
-             (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
+             (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)));
+      report_degradation strategy r
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "qasmc" ~doc:"Compile an OpenQASM file with CaQR")
     Cmdliner.Term.(
       const run $ file_pos $ strategy_flag $ qasm_flag $ timings_flag
-      $ jobs_flag)
+      $ jobs_flag $ timeout_flag $ fallback_flag)
 
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run entry strategy noisy shots seed jobs =
+  let run entry strategy noisy shots seed jobs max_sim_qubits =
+    apply_sim_cap max_sim_qubits;
     let device = device_for entry in
     let r =
       Caqr.Pipeline.compile ~options:(options_for ~jobs false) device strategy
@@ -275,7 +338,7 @@ let simulate_cmd =
     (Cmdliner.Cmd.info "simulate" ~doc:"Compile and simulate a benchmark")
     Cmdliner.Term.(
       const run $ bench_pos $ strategy_flag $ noisy_flag $ shots_flag
-      $ seed_flag $ jobs_flag)
+      $ seed_flag $ jobs_flag $ max_sim_qubits_flag)
 
 (* ---- verify ---- *)
 
@@ -403,12 +466,82 @@ let fuzz_cmd =
       $ max_gates_flag $ oracles_flag $ corpus_flag $ no_corpus_flag
       $ timings_flag $ jobs_flag)
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let chaos_seed_flag =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Drives which hit of each armed site fails. The whole matrix \
+             is a pure function of the seed: repeated runs are \
+             byte-identical.")
+  in
+  let chaos_bench_flag =
+    Cmdliner.Arg.(
+      value & opt_all bench_arg []
+      & info [ "bench" ] ~docv:"BENCHMARK"
+          ~doc:
+            "Benchmark to sweep the sites over (repeatable). Defaults to a \
+             small regular/commutable pair that together reach every \
+             site.")
+  in
+  let run seed deadline_ms benches =
+    let benches =
+      match benches with
+      | [] ->
+        List.map Benchmarks.Suite.find [ "XOR_5"; "Multiply_13"; "QAOA5-0.3" ]
+      | bs -> bs
+    in
+    let workloads =
+      List.map
+        (fun (e : Benchmarks.Suite.entry) ->
+          (e.Benchmarks.Suite.name, input_of_entry e))
+        benches
+    in
+    let cells = Fuzz.Chaos.run ~seed ?deadline_ms workloads in
+    Format.printf "%a" Fuzz.Chaos.pp_matrix cells;
+    let fired = Fuzz.Chaos.sites_fired cells in
+    Format.printf "sites fired: %d/%d (%s)@." (List.length fired)
+      (List.length Guard.Inject.sites)
+      (String.concat ", " fired);
+    if Fuzz.Chaos.any_verify_failed cells then begin
+      Printf.eprintf "chaos: a fault produced a VERIFIER-REFUTED artifact\n";
+      exit 1
+    end;
+    if not (Fuzz.Chaos.all_contained cells) then begin
+      Printf.eprintf "chaos: a fault escaped the guard layer uncontained\n";
+      exit 4
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "chaos"
+       ~doc:
+         "Arm every registered fault-injection site in turn, run the \
+          pipeline workload per benchmark, and check that each fault \
+          yields valid output or a structured error. Exits 1 if a fault \
+          let a wrong artifact through, 4 if an exception escaped the \
+          guards.")
+    Cmdliner.Term.(const run $ chaos_seed_flag $ timeout_flag $ chaos_bench_flag)
+
 let () =
   let info =
     Cmdliner.Cmd.info "caqr_cli" ~version:"1.0.0"
       ~doc:"Compiler-assisted qubit reuse through dynamic circuits"
   in
-  exit
-    (Cmdliner.Cmd.eval
-       (Cmdliner.Cmd.group info
-          [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd ]))
+  let code =
+    try
+      Cmdliner.Cmd.eval ~catch:false
+        (Cmdliner.Cmd.group info
+           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd ])
+    with
+    | Guard.Error.Guard_error e | Guard.Error.Budget_exceeded e ->
+      (* Structured errors crossing the command boundary are internal
+         failures the guard layer DID catch — report and exit 4. *)
+      Printf.eprintf "caqr_cli: %s\n" (Guard.Error.to_string e);
+      4
+  in
+  (* Map cmdliner's CLI-error codes onto the documented table: 2 for
+     usage errors, 4 for internal ones. *)
+  exit (match code with 124 -> 2 | 125 -> 4 | c -> c)

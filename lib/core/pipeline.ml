@@ -16,6 +16,11 @@ type options = {
   jobs : int;
       (* Domains for the candidate fan-out (Exec.Pool). Any value
          produces byte-identical reports; >1 only changes wall clock. *)
+  fallback : bool;
+      (* Supervise the compile with the degradation ladder: a failing
+         strategy demotes toward Baseline instead of raising. *)
+  deadline_ms : int option;
+      (* Cooperative wall-clock budget for the whole compile. *)
 }
 
 let default =
@@ -25,7 +30,15 @@ let default =
     collect_metrics = false;
     search = Qs_caqr.default_opts;
     jobs = 1;
+    fallback = false;
+    deadline_ms = None;
   }
+
+type degraded = {
+  from_strategy : strategy;
+  error : Guard.Error.t;
+  backtrace : string;
+}
 
 type report = {
   strategy : strategy;
@@ -35,6 +48,7 @@ type report = {
   reuse_pairs : int;
   verification : Verify.verdict option;
   metrics : Obs.Metrics.snapshot option;
+  degraded : degraded list;
 }
 
 let strategy_name = function
@@ -62,6 +76,7 @@ let finish device strategy logical reuse_pairs =
     reuse_pairs;
     verification = None;
     metrics = None;
+    degraded = [];
   }
 
 (* Reduction trajectories with the applied pairs kept — the pairs feed
@@ -104,6 +119,7 @@ let compile_unverified ~search ~jobs device strategy input ~original =
         reuse_pairs = r.Sr_caqr.reuses;
         verification = None;
         metrics = None;
+        degraded = [];
       },
       (* SR's lazy mapper reuses physical qubits as a side effect and
          never names logical pairs. *)
@@ -165,35 +181,105 @@ let compile_unverified ~search ~jobs device strategy input ~original =
        failwith
          (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
 
+(* The degradation ladder (most capable first): a reuse strategy that
+   blows up demotes to the cheaper reuse search, which demotes to plain
+   layout-and-route. The last rung is always Baseline — under [fallback]
+   a compile either returns SOME valid physical circuit or dies with one
+   structured error naming every rung it tried. *)
+let ladder = function
+  | Sr -> [ Sr; Qs_max_reuse; Baseline ]
+  | Qs_target n -> [ Qs_target n; Qs_max_reuse; Baseline ]
+  | (Qs_max_reuse | Qs_min_depth | Qs_best_fidelity) as s -> [ s; Baseline ]
+  | Baseline -> [ Baseline ]
+
+let verify_report ~options ~original device input pairs report =
+  match options.verify with
+  | None -> report
+  | Some level ->
+    let subject =
+      {
+        Verify.original;
+        logical = report.logical;
+        physical = report.physical;
+        device;
+        pairs =
+          Option.map
+            (List.map (fun (p : Reuse.pair) ->
+                 { Verify.Structural.src = p.Reuse.src; dst = p.Reuse.dst }))
+            pairs;
+        commutable =
+          (match input with Commutable g -> Some g | Regular _ -> None);
+      }
+    in
+    let verdict =
+      if not options.fallback then Verify.run ~seed:options.seed level subject
+      else
+        (* A crashing validator must not take down a compile that already
+           produced an artifact; an unverified artifact is [Inconclusive],
+           never silently "equivalent". *)
+        match
+          Guard.Error.protect ~stage:"pipeline.verify" (fun () ->
+              Verify.run ~seed:options.seed level subject)
+        with
+        | Ok v -> v
+        | Error e -> Verify.Inconclusive (Guard.Error.to_string e)
+    in
+    { report with verification = Some verdict }
+
+(* Walk the ladder: first rung that compiles wins; each failure is
+   captured (error + backtrace) into the report's [degraded] trail. *)
+let compile_ladder ~options device strategy input ~original =
+  let rec walk trail = function
+    | [] ->
+      let detail =
+        String.concat "; "
+          (List.rev_map
+             (fun d ->
+               Printf.sprintf "%s: %s" (strategy_name d.from_strategy)
+                 (Guard.Error.to_string d.error))
+             trail)
+      in
+      raise
+        (Guard.Error.Guard_error
+           (Guard.Error.v ~stage:"pipeline" ~site:"ladder"
+              ("every ladder rung failed: " ^ detail)))
+    | s :: rest ->
+      if trail <> [] then Obs.Metrics.incr "guard.ladder.demotions";
+      (match
+         Guard.Error.protect_bt ~stage:("pipeline." ^ strategy_name s)
+           (fun () ->
+             compile_unverified ~search:options.search ~jobs:options.jobs
+               device s input ~original)
+       with
+       | Ok (report, pairs) ->
+         ({ report with degraded = List.rev trail }, pairs)
+       | Error (e, bt) ->
+         walk ({ from_strategy = s; error = e; backtrace = bt } :: trail) rest)
+  in
+  walk [] (ladder strategy)
+
 let compile ?(options = default) device strategy input =
   if options.collect_metrics then Obs.Metrics.reset ();
-  let original = logical_of_input input in
+  Guard.Budget.with_deadline ?ms:options.deadline_ms @@ fun () ->
+  let original =
+    if not options.fallback then logical_of_input input
+    else
+      (* No circuit, no passthrough: a failure this early still leaves
+         the pipeline with one structured error instead of a raw exn. *)
+      match
+        Guard.Error.protect ~stage:"pipeline.input" (fun () ->
+            logical_of_input input)
+      with
+      | Ok c -> c
+      | Error e -> raise (Guard.Error.Guard_error e)
+  in
   let report, pairs =
-    compile_unverified ~search:options.search ~jobs:options.jobs device
-      strategy input ~original
+    if options.fallback then compile_ladder ~options device strategy input ~original
+    else
+      compile_unverified ~search:options.search ~jobs:options.jobs device
+        strategy input ~original
   in
-  let report =
-    match options.verify with
-    | None -> report
-    | Some level ->
-      let subject =
-        {
-          Verify.original;
-          logical = report.logical;
-          physical = report.physical;
-          device;
-          pairs =
-            Option.map
-              (List.map (fun (p : Reuse.pair) ->
-                   { Verify.Structural.src = p.Reuse.src; dst = p.Reuse.dst }))
-              pairs;
-          commutable =
-            (match input with Commutable g -> Some g | Regular _ -> None);
-        }
-      in
-      { report with
-        verification = Some (Verify.run ~seed:options.seed level subject) }
-  in
+  let report = verify_report ~options ~original device input pairs report in
   if options.collect_metrics then
     { report with metrics = Some (Obs.Metrics.snapshot ()) }
   else report

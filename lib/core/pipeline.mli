@@ -33,9 +33,34 @@ type options = {
       (** domains for the candidate fan-out via {!Exec.Pool}
           (default 1). The report is byte-identical for every value;
           [jobs > 1] only changes wall-clock time. *)
+  fallback : bool;
+      (** supervise the compile with the degradation ladder
+          (default false): a strategy that raises demotes one rung —
+          [Sr] → [Qs_max_reuse] → [Baseline]; [Qs_target _] →
+          [Qs_max_reuse] → [Baseline]; other QS strategies → [Baseline]
+          — so [compile] returns SOME valid physical circuit, or raises
+          a single {!Guard.Error.Guard_error} naming every rung it
+          tried. Each demotion is recorded in [report.degraded] and
+          bumps the ["guard.ladder.demotions"] counter. A crashing
+          validator degrades the verdict to [Inconclusive] instead of
+          aborting. Without [fallback], failures propagate exactly as
+          before. *)
+  deadline_ms : int option;
+      (** cooperative wall-clock budget for the whole compile (default
+          [None]): hot loops poll it via {!Guard.Budget} and trip a
+          typed [Budget_exceeded], which the ladder (when [fallback])
+          treats like any other rung failure *)
 }
 
 val default : options
+
+(** One rung of the degradation ladder that failed before the strategy
+    in [report.strategy] succeeded. *)
+type degraded = {
+  from_strategy : strategy;
+  error : Guard.Error.t;
+  backtrace : string;  (** empty when backtrace recording is off *)
+}
 
 type report = {
   strategy : strategy;
@@ -49,6 +74,10 @@ type report = {
   metrics : Obs.Metrics.snapshot option;
       (** counters and per-phase wall times, present when
           [options.collect_metrics] was set *)
+  degraded : degraded list;
+      (** the failures that demoted the compile here, oldest first;
+          [[]] unless [options.fallback] kicked in. [strategy] is the
+          rung that actually produced the artifact. *)
 }
 
 (** [compile ?options device strategy input]. [Qs_target] raises

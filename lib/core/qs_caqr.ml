@@ -143,6 +143,8 @@ let search_incremental ~cache order objective budget target circuit =
         | p :: rest ->
           incr nodes;
           Obs.Metrics.incr "qs.search.nodes";
+          Guard.Inject.hit "qs.search";
+          Guard.Budget.checkpoint ~stage:"core.qs" ~site:"qs.search";
           if !nodes > budget then None
           else begin
             let rev_pairs' = p :: rev_pairs in
@@ -172,6 +174,8 @@ let search_fresh order objective budget target circuit =
         | p :: rest ->
           incr nodes;
           Obs.Metrics.incr "qs.search.nodes";
+          Guard.Inject.hit "qs.search";
+          Guard.Budget.checkpoint ~stage:"core.qs" ~site:"qs.search";
           if !nodes > budget then None
           else begin
             match go (Reuse.apply circuit p) (p :: pairs) with

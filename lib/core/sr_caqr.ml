@@ -68,6 +68,7 @@ let kind_of st i = st.circuit.Quantum.Circuit.gates.(i).Quantum.Gate.kind
    used physical gets a conditional reset first (Fig. 2 (b): its own last
    measurement drives the X; a blind reclaim measures into scratch). *)
 let place st l ph =
+  Guard.Inject.hit "sr.place";
   if st.p2l.(ph) >= 0 then invalid_arg "Sr_caqr.place: occupied";
   if st.used_before.(ph) then begin
     st.reuses <- st.reuses + 1;
@@ -127,7 +128,9 @@ let map_fresh st l =
   in
   match best_by score (free_physicals st) with
   | Some p -> place st l p
-  | None -> failwith "Sr_caqr: no free physical qubit"
+  | None ->
+    Guard.Error.fail ~stage:"core.sr" ~site:"sr.place"
+      "no free physical qubit for logical %d" l
 
 (* Map an unmapped logical next to its already-mapped gate partner,
    nudged toward its future mapped partners (lookahead) and breaking
@@ -153,7 +156,9 @@ let map_near st l partner_phys =
   in
   match best_by score (free_physicals st) with
   | Some p -> place st l p
-  | None -> failwith "Sr_caqr: no free physical qubit"
+  | None ->
+    Guard.Error.fail ~stage:"core.sr" ~site:"sr.place"
+      "no free physical qubit near physical %d for logical %d" partner_phys l
 
 let map_gate_qubits st i =
   match Quantum.Gate.qubits (kind_of st i) with
@@ -327,17 +332,21 @@ let insert_swap st i =
        st.p2l.(n) <- lp;
        if lp >= 0 then st.l2p.(lp) <- n;
        if ln >= 0 then st.l2p.(ln) <- p
-     | None -> failwith "Sr_caqr.insert_swap: isolated qubit")
+     | None ->
+       Guard.Error.fail ~stage:"core.sr" ~site:"sr.place"
+         "insert_swap: isolated qubit (no distance-reducing swap for %d-%d)"
+         pa pb)
   | _ -> invalid_arg "Sr_caqr.insert_swap: not a 2-qubit gate"
 
 let run st =
   Obs.Metrics.incr "sr.runs";
   Obs.Metrics.time "time.sr" @@ fun () ->
-  let guard = ref 0 in
   let max_iters = (Quantum.Dag.num_nodes st.dag * 50) + 1000 in
+  let tick =
+    Guard.Budget.ticker ~stage:"core.sr" ~site:"sr.place" ~limit:max_iters ()
+  in
   while st.frontier <> [] do
-    incr guard;
-    if !guard > max_iters then failwith "Sr_caqr.run: diverged";
+    tick ();
     let emitted = ref false in
     (* Emit everything executable (Step 3). *)
     let rec drain () =

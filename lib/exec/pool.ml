@@ -35,6 +35,28 @@ let clamp_jobs jobs n =
   let requested = match jobs with Some j -> j | None -> default_jobs () in
   max 1 (min max_jobs (min requested n))
 
+(* Transient faults (a recoverable [Guard.Error], e.g. an injected
+   [sim.shot] or [pool.task] fault) get a bounded retry. Determinism
+   holds because tasks are pure functions of their inputs and an armed
+   injection fires exactly once: the retry re-executes the same work
+   with the fault already spent, so the retried result is the result
+   the fault preempted. *)
+let max_transient_retries = 2
+
+let run_task f x =
+  let rec attempt k =
+    match
+      Guard.Inject.hit "pool.task";
+      f x
+    with
+    | v -> Done v
+    | exception (Guard.Error.Guard_error e) when e.Guard.Error.recoverable && k < max_transient_retries ->
+      Obs.Metrics.incr "guard.retries";
+      attempt (k + 1)
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  attempt 0
+
 (* Each slot is written by exactly one domain and only read after
    [Domain.join], so the plain (non-atomic) array is race-free. *)
 let run_array ?jobs f arr =
@@ -50,10 +72,7 @@ let run_array ?jobs f arr =
     let work d =
       let t0 = Unix.gettimeofday () in
       for i = d * n / jobs to ((d + 1) * n / jobs) - 1 do
-        results.(i) <-
-          (match f arr.(i) with
-           | v -> Done v
-           | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+        results.(i) <- run_task f arr.(i)
       done;
       Unix.gettimeofday () -. t0
     in
@@ -70,10 +89,31 @@ let run_array ?jobs f arr =
     Array.iteri
       (fun d dt -> Obs.Metrics.add_time (Printf.sprintf "exec.domain%d.time" d) dt)
       elapsed;
-    Array.map
-      (function
+    (* Submission-order merge: the first Failed slot (by index, not by
+       completion time) wins. The re-raise is structured — it names the
+       failing task's index and, for guard faults, keeps the inner
+       stage/site so the supervisor can see which site actually blew
+       up. [recoverable] is cleared: the bounded retry above is the
+       only retry; an outer pool must not replay a whole batch. *)
+    Array.mapi
+      (fun i -> function
         | Done v -> v
-        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Failed (e, bt) ->
+          let base = Guard.Error.of_exn ~stage:"exec.pool" ~site:"pool.task" e in
+          let err =
+            {
+              base with
+              Guard.Error.detail =
+                Printf.sprintf "task %d: %s" i base.Guard.Error.detail;
+              recoverable = false;
+            }
+          in
+          let wrapped =
+            match e with
+            | Guard.Error.Budget_exceeded _ -> Guard.Error.Budget_exceeded err
+            | _ -> Guard.Error.Guard_error err
+          in
+          Printexc.raise_with_backtrace wrapped bt
         | Pending -> assert false)
       results
   end

@@ -8,9 +8,21 @@
     [i]'s PRNG purely from [(seed, i)] via {!Prng.split}. Determinism
     therefore never depends on scheduling, core count, or [jobs].
 
-    Exceptions: if tasks raise, the exception of the FIRST failing task
-    in submission order is re-raised (with its backtrace) after all
-    domains have joined — again independent of timing.
+    Exceptions: if tasks raise, the FIRST failing task in submission
+    order determines the error after all domains have joined — again
+    independent of timing. The re-raise is a structured
+    {!Guard.Error.Guard_error} (or [Budget_exceeded], matching the
+    task's exception) whose detail is prefixed with the failing task's
+    submission index ["task <i>: ..."]; a guard fault keeps its inner
+    stage and site name, any other exception is wrapped under stage
+    ["exec.pool"], site ["pool.task"]. The original backtrace is
+    preserved.
+
+    Resilience: a task failing with a RECOVERABLE guard error (a
+    transient fault — see {!Guard.Inject}) is retried in place, at most
+    twice, before the failure is recorded; retries bump the
+    ["guard.retries"] counter. Each task dispatch passes the
+    ["pool.task"] injection site.
 
     Observability: each run bumps the ["exec.pool.runs"],
     ["exec.pool.tasks"] and ["exec.pool.domains"] counters and records a

@@ -1,0 +1,148 @@
+type outcome =
+  | Ok_clean
+  | Ok_degraded of int
+  | Contained of Guard.Error.t
+  | Verify_failed of string
+  | Uncontained of string
+
+type cell = {
+  site : Guard.Inject.site;
+  bench : string;
+  fired : int;
+  outcome : outcome;
+}
+
+(* A scratch corpus directory, wiped before every use so file names (and
+   therefore the whole matrix rendering) are identical across runs. *)
+let scratch_corpus_dir () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "caqr-chaos-corpus" in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  dir
+
+let corpus_roundtrip circuit =
+  let dir = scratch_corpus_dir () in
+  let entry =
+    Corpus.add ~dir ~seed:1 ~oracle:Oracle.Roundtrip ~note:"chaos probe"
+      circuit
+  in
+  let loaded = Corpus.load dir in
+  if not (List.exists (fun e -> e.Corpus.file = entry.Corpus.file) loaded) then
+    failwith "Chaos: corpus manifest lost the entry it just wrote";
+  ignore (Corpus.read_circuit ~dir entry)
+
+let width_of = function
+  | Caqr.Pipeline.Regular c -> c.Quantum.Circuit.num_qubits
+  | Caqr.Pipeline.Commutable g -> Galg.Graph.order g
+
+(* One fault, one benchmark: drive the full surface — ladder-supervised
+   compiles (both mappers), the applicability test, shot simulation, a
+   QASM print/parse roundtrip, and a corpus write — all single-domain so
+   the armed fault lands at a deterministic hit. Returns the reports so
+   the caller can classify. *)
+let workload input =
+  let device = Hardware.Device.heavy_hex_for (width_of input) in
+  let options =
+    {
+      Caqr.Pipeline.default with
+      Caqr.Pipeline.fallback = true;
+      verify = Some Verify.Static;
+      jobs = 1;
+    }
+  in
+  let reports =
+    List.map
+      (fun s -> Caqr.Pipeline.compile ~options device s input)
+      [ Caqr.Pipeline.Sr; Caqr.Pipeline.Qs_min_depth ]
+  in
+  ignore (Caqr.Pipeline.beneficial device input);
+  let r = List.hd reports in
+  ignore (Sim.Executor.run ~jobs:1 ~seed:1 ~shots:64 r.Caqr.Pipeline.physical);
+  (match
+     Quantum.Qasm_parser.parse
+       (Quantum.Qasm.to_string r.Caqr.Pipeline.physical)
+   with
+  | Ok _ -> ()
+  | Error e -> raise (Guard.Error.Guard_error e));
+  corpus_roundtrip r.Caqr.Pipeline.logical;
+  reports
+
+let classify reports =
+  let refuted =
+    List.find_map
+      (fun (r : Caqr.Pipeline.report) ->
+        match r.Caqr.Pipeline.verification with
+        | Some (Verify.Inequivalent cx) ->
+          Some
+            (Printf.sprintf "%s: %s"
+               (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy)
+               cx.Verify.Verdict.detail)
+        | _ -> None)
+      reports
+  in
+  match refuted with
+  | Some why -> Verify_failed why
+  | None -> (
+    match
+      List.fold_left
+        (fun acc (r : Caqr.Pipeline.report) ->
+          acc + List.length r.Caqr.Pipeline.degraded)
+        0 reports
+    with
+    | 0 -> Ok_clean
+    | n -> Ok_degraded n)
+
+let run_cell ~seed ?deadline_ms site (bench, input) =
+  (* Seed-driven arming: the k-th hit to fail is a pure function of the
+     seed, so a rerun replays the exact same fault. *)
+  Guard.Inject.arm ~at_hit:(1 + ((max 1 seed - 1) mod 2)) site.Guard.Inject.name;
+  let finish outcome =
+    let fired = Guard.Inject.fired () in
+    Guard.Inject.disarm ();
+    { site; bench; fired; outcome }
+  in
+  match
+    Guard.Budget.with_deadline ?ms:deadline_ms (fun () -> workload input)
+  with
+  | reports -> finish (classify reports)
+  | exception (Guard.Error.Guard_error e | Guard.Error.Budget_exceeded e) ->
+    finish (Contained e)
+  | exception e -> finish (Uncontained (Printexc.to_string e))
+
+let run ?(seed = 1) ?deadline_ms benches =
+  List.concat_map
+    (fun site ->
+      List.map (fun bench -> run_cell ~seed ?deadline_ms site bench) benches)
+    Guard.Inject.sites
+
+let outcome_line = function
+  | Ok_clean -> "ok"
+  | Ok_degraded n -> Printf.sprintf "ok (degraded x%d)" n
+  | Contained e -> "contained: " ^ Guard.Error.to_string e
+  | Verify_failed why -> "VERIFY-FAIL: " ^ why
+  | Uncontained why -> "UNCONTAINED: " ^ why
+
+let pp_matrix ppf cells =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-14s %-12s fired=%d  %s@."
+        c.site.Guard.Inject.name c.bench c.fired (outcome_line c.outcome))
+    cells
+
+let all_contained =
+  List.for_all (fun c ->
+      match c.outcome with
+      | Ok_clean | Ok_degraded _ | Contained _ -> true
+      | Verify_failed _ | Uncontained _ -> false)
+
+let any_verify_failed =
+  List.exists (fun c ->
+      match c.outcome with Verify_failed _ -> true | _ -> false)
+
+let sites_fired cells =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun c -> if c.fired > 0 then Some c.site.Guard.Inject.name else None)
+       cells)

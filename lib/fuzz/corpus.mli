@@ -2,10 +2,19 @@
 
     Every minimized counterexample is serialized as an OpenQASM file
     under a corpus directory, next to a [manifest.tsv] recording which
-    seed produced it, which oracle it refuted and why. The manifest is
-    append-only plain text so entries diff cleanly in review, and the
-    test suite ([test/test_corpus.ml]) replays every entry through its
-    recorded oracle — a past fuzz finding can never regress silently. *)
+    seed produced it, which oracle it refuted and why. Entries are plain
+    text so they diff cleanly in review, and the test suite
+    ([test/test_corpus.ml]) replays every entry through its recorded
+    oracle — a past fuzz finding can never regress silently.
+
+    Writes are crash-safe: every file (circuit and manifest alike) is
+    written to a temp file in the corpus directory and atomically
+    [Sys.rename]d into place, so an interrupted write — including an
+    injected [corpus.write] fault — leaves no truncated file and an
+    intact manifest. Each circuit file carries its manifest metadata in
+    a two-line [//] comment header, making the manifest derived state:
+    {!add} rebuilds it from a sorted directory scan (header metadata
+    first, previous manifest line for legacy header-less files). *)
 
 type entry = {
   file : string;  (** QASM file name, relative to the corpus directory *)
@@ -21,10 +30,11 @@ val default_dir : string
     does not exist. Raises [Failure] on a malformed manifest line. *)
 val load : string -> entry list
 
-(** [add ~dir ~seed ~oracle ~note circuit] writes the circuit and
-    appends a manifest line, creating [dir] as needed. The file name
-    encodes the oracle and seed; a counter suffix keeps it fresh when
-    one seed produces several findings. *)
+(** [add ~dir ~seed ~oracle ~note circuit] writes the circuit (with its
+    metadata header) and rebuilds the manifest, creating [dir] as
+    needed; both writes are atomic. The file name encodes the oracle and
+    seed; a counter suffix keeps it fresh when one seed produces several
+    findings. *)
 val add :
   dir:string ->
   seed:int ->

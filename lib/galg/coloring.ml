@@ -36,10 +36,15 @@ let dsatur g =
   let colors = Array.make n (-1) in
   let count = ref 0 in
   if n > 0 then begin
+    let tick =
+      Guard.Budget.ticker ~stage:"galg.coloring" ~site:"color.dsatur" ()
+    in
     let saturation = Array.make n 0 in
     let module Iset = Set.Make (Int) in
     let neighbor_colors = Array.make n Iset.empty in
     for _ = 1 to n do
+      tick ();
+      Guard.Inject.hit "color.dsatur";
       (* Pick the uncolored vertex with max saturation, ties by degree. *)
       let best = ref (-1) in
       for v = 0 to n - 1 do

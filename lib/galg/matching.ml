@@ -6,6 +6,11 @@ type t = int array
 
 let blossom g =
   let n = Graph.order g in
+  (* Cooperative budget: one tick per augmenting-path search, so an
+     armed deadline bounds the O(V^3) worst case instead of hanging. *)
+  let tick =
+    Guard.Budget.ticker ~stage:"galg.matching" ~site:"match.augment" ()
+  in
   let mate = Array.make n (-1) in
   let p = Array.make n (-1) in
   let base = Array.init n Fun.id in
@@ -40,6 +45,8 @@ let blossom g =
   in
 
   let find_path root =
+    tick ();
+    Guard.Inject.hit "match.augment";
     Array.fill used 0 n false;
     Array.fill p 0 n (-1);
     Array.iteri (fun i _ -> base.(i) <- i) base;

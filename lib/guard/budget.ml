@@ -1,0 +1,40 @@
+(* Cooperative budgets. The deadline is one process-global atomic
+   absolute time: hot loops in any domain poll it at their checkpoints,
+   so a timeout set around [Pipeline.compile] also bounds work the
+   execution pool fanned out. [infinity] means disarmed, which keeps the
+   disarmed checkpoint down to one atomic load and a float compare — no
+   clock syscall. *)
+
+let deadline = Atomic.make infinity
+
+let has_deadline () = Atomic.get deadline < infinity
+
+let with_deadline ?ms f =
+  match ms with
+  | None -> f ()
+  | Some ms ->
+    let saved = Atomic.get deadline in
+    let mine = Unix.gettimeofday () +. (float_of_int (max 0 ms) /. 1000.) in
+    (* Nested deadlines tighten, never extend. *)
+    Atomic.set deadline (Float.min saved mine);
+    Fun.protect ~finally:(fun () -> Atomic.set deadline saved) f
+
+let trip ~stage ~site detail =
+  Obs.Metrics.incr "guard.budget.trips";
+  raise (Error.Budget_exceeded (Error.v ~recoverable:true ~stage ~site detail))
+
+let checkpoint ~stage ~site =
+  let d = Atomic.get deadline in
+  if d < infinity && Unix.gettimeofday () > d then
+    trip ~stage ~site "wall-clock deadline exceeded"
+
+let ticker ~stage ~site ?limit () =
+  let steps = ref 0 in
+  fun () ->
+    incr steps;
+    (match limit with
+     | Some l when !steps > l ->
+       trip ~stage ~site
+         (Printf.sprintf "step budget exceeded (limit %d)" l)
+     | _ -> ());
+    checkpoint ~stage ~site

@@ -1,0 +1,30 @@
+(** Cooperative wall-clock deadlines and step budgets.
+
+    A budget never preempts: hot loops (blossom augmenting-path search,
+    DSATUR, router SWAP search, QS DFS, per-shot simulation) call a
+    checkpoint each iteration, and the checkpoint raises a typed
+    {!Error.Budget_exceeded} instead of letting the loop hang or
+    diverge. Every trip bumps the ["guard.budget.trips"] counter in
+    {!Obs.Metrics}.
+
+    The deadline is process-global (one atomic), so it is visible to
+    every worker domain the execution pool spawns. When no deadline is
+    armed a checkpoint costs one atomic load — no clock read. *)
+
+(** [with_deadline ?ms f] runs [f] under a wall-clock deadline of [ms]
+    milliseconds from now ([None] = no change). Nested deadlines
+    tighten, never extend; the previous deadline is restored on exit,
+    exceptions included. *)
+val with_deadline : ?ms:int -> (unit -> 'a) -> 'a
+
+(** Is any deadline currently armed? *)
+val has_deadline : unit -> bool
+
+(** [checkpoint ~stage ~site] raises {!Error.Budget_exceeded} when the
+    armed deadline has passed; no-op otherwise. *)
+val checkpoint : stage:string -> site:string -> unit
+
+(** [ticker ~stage ~site ?limit ()] returns a tick function for one
+    loop: each call counts a step, raises {!Error.Budget_exceeded} past
+    [limit] steps (when given), and polls the deadline. *)
+val ticker : stage:string -> site:string -> ?limit:int -> unit -> unit -> unit

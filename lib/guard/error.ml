@@ -1,0 +1,48 @@
+type t = {
+  stage : string;
+  site : string;
+  detail : string;
+  recoverable : bool;
+}
+
+exception Guard_error of t
+exception Budget_exceeded of t
+
+let v ?(recoverable = false) ~stage ~site detail =
+  { stage; site; detail; recoverable }
+
+let fail ?recoverable ~stage ~site fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Guard_error (v ?recoverable ~stage ~site detail)))
+    fmt
+
+let to_string e =
+  Printf.sprintf "[%s/%s] %s%s" e.stage e.site e.detail
+    (if e.recoverable then " (recoverable)" else "")
+
+let of_exn ~stage ?(site = "exn") = function
+  | Guard_error e | Budget_exceeded e -> e
+  | Failure msg -> v ~stage ~site msg
+  | Invalid_argument msg -> v ~stage ~site ("invalid argument: " ^ msg)
+  | Stack_overflow -> v ~stage ~site "stack overflow"
+  | Out_of_memory -> v ~stage ~site "out of memory"
+  | e -> v ~stage ~site (Printexc.to_string e)
+
+(* Deliberate catch-all (minus the control-flow exceptions below): the
+   degradation ladder and the CLI boundary rely on [protect] for
+   totality — anything a stage throws must become a diagnostic, not a
+   crash. *)
+let reraise = function
+  | (Sys.Break | Stdlib.Exit | Assert_failure _) as e -> raise e
+  | _ -> ()
+
+let protect_bt ~stage ?site f =
+  match f () with
+  | x -> Ok x
+  | exception e ->
+    reraise e;
+    let bt = Printexc.get_backtrace () in
+    Error (of_exn ~stage ?site e, bt)
+
+let protect ~stage ?site f =
+  Result.map_error fst (protect_bt ~stage ?site f)

@@ -1,0 +1,50 @@
+(** Structured errors for the compile pipeline.
+
+    Every recoverable failure inside a guarded stage is described by one
+    {!t}: which stage raised it, at which named site, a human-readable
+    detail, and whether a supervisor may retry ([recoverable]). Stages
+    raise {!Guard_error} (or {!Budget_exceeded}, see {!Budget}); stage
+    boundaries convert any legacy exception with {!protect}. *)
+
+type t = {
+  stage : string;  (** owning pass, e.g. ["core.sr"], ["exec.pool"] *)
+  site : string;  (** site name, e.g. ["route.swap"] — see {!Inject} *)
+  detail : string;
+  recoverable : bool;
+      (** a bounded deterministic retry may succeed (transient faults) *)
+}
+
+exception Guard_error of t
+
+(** Raised by {!Budget} checkpoints; a distinct constructor so callers
+    can tell resource exhaustion from stage failure. *)
+exception Budget_exceeded of t
+
+val v : ?recoverable:bool -> stage:string -> site:string -> string -> t
+
+(** [fail ~stage ~site fmt ...] raises {!Guard_error} with a formatted
+    detail. *)
+val fail :
+  ?recoverable:bool ->
+  stage:string ->
+  site:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+
+val to_string : t -> string
+
+(** Convert any exception into a structured error. {!Guard_error} and
+    {!Budget_exceeded} pass through unchanged; [Failure],
+    [Invalid_argument], [Stack_overflow] and [Out_of_memory] keep their
+    message under the given stage/site. *)
+val of_exn : stage:string -> ?site:string -> exn -> t
+
+(** [protect ~stage f] runs [f ()] and converts any raised exception to
+    [Error] via {!of_exn}. Control-flow exceptions ([Sys.Break], [Exit],
+    [Assert_failure]) are re-raised, never converted. *)
+val protect : stage:string -> ?site:string -> (unit -> 'a) -> ('a, t) result
+
+(** Like {!protect} but also captures the raw backtrace (empty when
+    backtrace recording is off). *)
+val protect_bt :
+  stage:string -> ?site:string -> (unit -> 'a) -> ('a, t * string) result

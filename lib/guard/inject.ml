@@ -1,0 +1,96 @@
+(* Deterministic, seed-driven fault injection.
+
+   Each site is a named point in a library where a real-world failure
+   could strike (an allocation, a write, a heuristic step). Disarmed —
+   the default state — a [hit] is one atomic load plus a string compare, so
+   the sites stay compiled into production paths. Armed, the k-th hit of
+   the armed site fails (or delays) exactly once; every later hit passes,
+   which is what makes bounded retry of transient sites deterministic:
+   the retry re-executes the same work and the fault is already spent. *)
+
+type mode = Fail | Delay_ms of int
+
+type site = {
+  name : string;
+  lib : string;
+  description : string;
+  transient : bool;
+}
+
+(* The static catalog IS the source of truth: `caqr_cli chaos` sweeps
+   it, so a new injection point must be declared here to exist. *)
+let sites =
+  [
+    { name = "match.augment"; lib = "galg";
+      description = "blossom matching: augmenting-path search"; transient = false };
+    { name = "color.dsatur"; lib = "galg";
+      description = "DSATUR coloring: vertex selection"; transient = false };
+    { name = "parse.stmt"; lib = "quantum";
+      description = "QASM parser: per-statement dispatch"; transient = false };
+    { name = "route.swap"; lib = "transpiler";
+      description = "router: SWAP insertion"; transient = false };
+    { name = "qs.search"; lib = "core";
+      description = "QS-CaQR: DFS node expansion"; transient = false };
+    { name = "sr.place"; lib = "core";
+      description = "SR-CaQR: logical-to-physical placement"; transient = false };
+    { name = "sim.shot"; lib = "sim";
+      description = "simulator: per-shot execution"; transient = true };
+    { name = "pool.task"; lib = "exec";
+      description = "execution pool: task dispatch"; transient = true };
+    { name = "corpus.write"; lib = "fuzz";
+      description = "fuzz corpus: counterexample write"; transient = false };
+  ]
+
+type arming = {
+  site : site;
+  at_hit : int;
+  mode : mode;
+  hits : int Atomic.t;
+  fired : int Atomic.t;
+}
+
+let state : arming option Atomic.t = Atomic.make None
+
+let find name = List.find_opt (fun s -> s.name = name) sites
+
+let arm ?(at_hit = 1) ?(mode = Fail) name =
+  match find name with
+  | None -> invalid_arg (Printf.sprintf "Guard.Inject.arm: unknown site %S" name)
+  | Some site ->
+    Atomic.set state
+      (Some
+         {
+           site;
+           at_hit = max 1 at_hit;
+           mode;
+           hits = Atomic.make 0;
+           fired = Atomic.make 0;
+         })
+
+let disarm () = Atomic.set state None
+
+let armed () =
+  Option.map (fun a -> a.site.name) (Atomic.get state)
+
+let fired () =
+  match Atomic.get state with None -> 0 | Some a -> Atomic.get a.fired
+
+let hit name =
+  match Atomic.get state with
+  | None -> ()
+  | Some a ->
+    if String.equal a.site.name name then begin
+      let n = 1 + Atomic.fetch_and_add a.hits 1 in
+      if n = a.at_hit then begin
+        ignore (Atomic.fetch_and_add a.fired 1);
+        Obs.Metrics.incr "guard.inject.fired";
+        match a.mode with
+        | Delay_ms ms -> Unix.sleepf (float_of_int (max 0 ms) /. 1000.)
+        | Fail ->
+          raise
+            (Error.Guard_error
+               (Error.v ~recoverable:a.site.transient
+                  ~stage:("inject." ^ a.site.lib) ~site:name
+                  (Printf.sprintf "injected fault (hit %d)" n)))
+      end
+    end

@@ -1,0 +1,50 @@
+(** Deterministic fault-injection registry.
+
+    Named sites mark failure-prone points across the codebase; the
+    static {!sites} catalog is what `caqr_cli chaos` sweeps. At most one
+    site is armed at a time. Arming is seed-driven by the caller: the
+    chaos harness derives [at_hit] from its seed, so a run with the same
+    seed fires the same fault at the same point — and repeated runs are
+    byte-identical.
+
+    A fault fires exactly once (at the [at_hit]-th hit since arming);
+    subsequent hits pass. That single-shot semantics is what makes the
+    execution pool's bounded retry of transient sites deterministic: the
+    retried task re-executes the same work and the fault is spent.
+
+    Disarmed, {!hit} costs one atomic load — the sites stay compiled
+    into production paths. Every fired fault bumps the
+    ["guard.inject.fired"] counter in {!Obs.Metrics}. *)
+
+type mode =
+  | Fail  (** raise {!Error.Guard_error} at the armed hit *)
+  | Delay_ms of int  (** sleep instead — exercises deadline trips *)
+
+type site = {
+  name : string;  (** e.g. ["route.swap"] *)
+  lib : string;  (** owning library, e.g. ["transpiler"] *)
+  description : string;
+  transient : bool;
+      (** injected errors are marked recoverable; {!Exec.Pool} retries *)
+}
+
+(** The full registered-site catalog, in a fixed order. *)
+val sites : site list
+
+(** [arm ?at_hit ?mode name] arms [name] to fire at its [at_hit]-th hit
+    (default 1, clamped to >= 1). Replaces any previous arming and
+    resets the hit counter. Raises [Invalid_argument] on unknown
+    names. *)
+val arm : ?at_hit:int -> ?mode:mode -> string -> unit
+
+val disarm : unit -> unit
+
+(** Name of the armed site, if any. *)
+val armed : unit -> string option
+
+(** How many times the armed site has fired since {!arm} (0 or 1). *)
+val fired : unit -> int
+
+(** [hit name] — checkpoint at site [name]: no-op unless [name] is the
+    armed site reaching its trigger hit. *)
+val hit : string -> unit

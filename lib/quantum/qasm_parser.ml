@@ -1,6 +1,15 @@
-let fail line msg = failwith (Printf.sprintf "Qasm_parser: line %d: %s" line msg)
+let stage = "quantum.qasm_parser"
 
-(* Strip comments, split on ';', keep line numbers for messages. *)
+(* Positioned parse failure: every diagnostic carries the 1-based line
+   and column of the statement (or token) it refers to. *)
+let fail (line, col) msg =
+  raise
+    (Guard.Error.Guard_error
+       (Guard.Error.v ~stage ~site:"parse.stmt"
+          (Printf.sprintf "line %d, col %d: %s" line col msg)))
+
+(* Strip comments, split on ';', keep the line AND column where each
+   statement's first non-blank character sits. *)
 let statements text =
   let no_comments =
     String.split_on_char '\n' text
@@ -12,25 +21,32 @@ let statements text =
   in
   let acc = ref [] in
   let buf = Buffer.create 64 in
+  let start = ref None in
+  let flush () =
+    (match (String.trim (Buffer.contents buf), !start) with
+     | "", _ | _, None -> ()
+     | stmt, Some p -> acc := (p, stmt) :: !acc);
+    Buffer.clear buf;
+    start := None
+  in
   List.iteri
     (fun lineno line ->
-      String.iter
-        (fun ch ->
-          if ch = ';' then begin
-            acc := (lineno + 1, String.trim (Buffer.contents buf)) :: !acc;
-            Buffer.clear buf
-          end
-          else Buffer.add_char buf ch)
+      String.iteri
+        (fun col ch ->
+          if ch = ';' then flush ()
+          else begin
+            if ch <> ' ' && ch <> '\t' && !start = None then
+              start := Some (lineno + 1, col + 1);
+            Buffer.add_char buf ch
+          end)
         line;
       Buffer.add_char buf ' ')
     no_comments;
-  (match String.trim (Buffer.contents buf) with
-   | "" -> ()
-   | rest -> acc := (List.length no_comments, rest) :: !acc);
-  List.rev (List.filter (fun (_, s) -> s <> "") !acc)
+  flush ();
+  List.rev !acc
 
 (* "pi", "pi/2", "2*pi", "-pi", "1.5708", "-0.5" ... *)
-let parse_angle line s =
+let parse_angle pos s =
   let s = String.trim s in
   let parse_atom a =
     let a = String.trim a in
@@ -38,7 +54,7 @@ let parse_angle line s =
     else
       match float_of_string_opt a with
       | Some f -> f
-      | None -> fail line (Printf.sprintf "bad angle %S" a)
+      | None -> fail pos (Printf.sprintf "bad angle %S" a)
   in
   let signed, body =
     if String.length s > 0 && s.[0] = '-' then
@@ -60,17 +76,18 @@ let parse_angle line s =
   signed *. v
 
 (* "q[3]" -> 3 (register name is checked by the caller). *)
-let parse_index line ~reg s =
+let parse_index pos ~reg s =
   let s = String.trim s in
   match (String.index_opt s '[', String.index_opt s ']') with
   | Some i, Some j when j > i ->
     let name = String.sub s 0 i in
     if name <> reg then
-      fail line (Printf.sprintf "expected register %S, got %S" reg name);
+      fail pos (Printf.sprintf "expected register %S, got %S" reg name);
     (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
-     | Some k -> k
-     | None -> fail line "bad index")
-  | _ -> fail line (Printf.sprintf "expected %s[<n>], got %S" reg s)
+     | Some k ->
+       if k < 0 then fail pos (Printf.sprintf "negative index in %S" s) else k
+     | None -> fail pos (Printf.sprintf "bad index in %S" s))
+  | _ -> fail pos (Printf.sprintf "expected %s[<n>], got %S" reg s)
 
 let split_args s = String.split_on_char ',' s |> List.map String.trim
 
@@ -87,11 +104,11 @@ let split_head tok =
       Some (String.sub tok (i + 1) (close - i - 1)) )
   | None -> (tok, None)
 
-let of_string text =
+let parse_exn text =
   let num_qubits = ref 0 and num_clbits = ref 0 in
   let rev_kinds = ref [] in
   let add k = rev_kinds := k :: !rev_kinds in
-  let one_q line name angle q =
+  let one_q pos name angle q =
     let g =
       match (name, angle) with
       | "h", None -> Gate.H
@@ -103,16 +120,17 @@ let of_string text =
       | "t", None -> Gate.T
       | "tdg", None -> Gate.Tdg
       | "sx", None -> Gate.Sx
-      | "rx", Some a -> Gate.Rx (parse_angle line a)
-      | "ry", Some a -> Gate.Ry (parse_angle line a)
-      | "rz", Some a -> Gate.Rz (parse_angle line a)
-      | "p", Some a -> Gate.Phase (parse_angle line a)
-      | _ -> fail line (Printf.sprintf "unsupported gate %S" name)
+      | "rx", Some a -> Gate.Rx (parse_angle pos a)
+      | "ry", Some a -> Gate.Ry (parse_angle pos a)
+      | "rz", Some a -> Gate.Rz (parse_angle pos a)
+      | "p", Some a -> Gate.Phase (parse_angle pos a)
+      | _ -> fail pos (Printf.sprintf "unsupported gate %S" name)
     in
     add (Gate.One_q (g, q))
   in
   List.iter
-    (fun (line, stmt) ->
+    (fun (pos, stmt) ->
+      Guard.Inject.hit "parse.stmt";
       (* Normalize interior whitespace to single spaces. *)
       let words =
         String.split_on_char ' ' stmt |> List.filter (fun w -> w <> "")
@@ -129,33 +147,39 @@ let of_string text =
         in
         if starts_with "qubit[" || starts_with "qreg " then begin
           let s = if starts_with "qreg " then String.sub stmt 5 (String.length stmt - 5) else stmt in
-          let i = String.index s '[' and j = String.index s ']' in
-          (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
-           | Some n -> num_qubits := max !num_qubits n
-           | None -> fail line "bad qubit count")
+          match (String.index_opt s '[', String.index_opt s ']') with
+          | Some i, Some j when j > i ->
+            (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+             | Some n when n >= 0 -> num_qubits := max !num_qubits n
+             | _ -> fail pos "bad qubit count")
+          | _ -> fail pos "bad qubit declaration"
         end
         else if starts_with "bit[" || starts_with "creg " then begin
           let s = if starts_with "creg " then String.sub stmt 5 (String.length stmt - 5) else stmt in
-          let i = String.index s '[' and j = String.index s ']' in
-          (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
-           | Some n -> num_clbits := max !num_clbits n
-           | None -> fail line "bad bit count")
+          match (String.index_opt s '[', String.index_opt s ']') with
+          | Some i, Some j when j > i ->
+            (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
+             | Some n when n >= 0 -> num_clbits := max !num_clbits n
+             | _ -> fail pos "bad bit count")
+          | _ -> fail pos "bad bit declaration"
         end
         else if starts_with "barrier" then begin
           let args = String.sub stmt 7 (String.length stmt - 7) in
-          add (Gate.Barrier (List.map (parse_index line ~reg:"q") (split_args args)))
+          add (Gate.Barrier (List.map (parse_index pos ~reg:"q") (split_args args)))
         end
         else if starts_with "reset " then
-          add (Gate.Reset (parse_index line ~reg:"q" (String.sub stmt 6 (String.length stmt - 6))))
+          add (Gate.Reset (parse_index pos ~reg:"q" (String.sub stmt 6 (String.length stmt - 6))))
         else if starts_with "if" then begin
           (* if (c[i]) x q[j] *)
-          let open_p = String.index stmt '(' and close_p = String.index stmt ')' in
-          let cond = String.sub stmt (open_p + 1) (close_p - open_p - 1) in
-          let cb = parse_index line ~reg:"c" cond in
-          let rest = String.trim (String.sub stmt (close_p + 1) (String.length stmt - close_p - 1)) in
-          (match String.split_on_char ' ' rest |> List.filter (fun w -> w <> "") with
-           | [ "x"; qarg ] -> add (Gate.If_x (cb, parse_index line ~reg:"q" qarg))
-           | _ -> fail line "only `if (c[i]) x q[j]` is supported")
+          match (String.index_opt stmt '(', String.index_opt stmt ')') with
+          | Some open_p, Some close_p when close_p > open_p ->
+            let cond = String.sub stmt (open_p + 1) (close_p - open_p - 1) in
+            let cb = parse_index pos ~reg:"c" cond in
+            let rest = String.trim (String.sub stmt (close_p + 1) (String.length stmt - close_p - 1)) in
+            (match String.split_on_char ' ' rest |> List.filter (fun w -> w <> "") with
+             | [ "x"; qarg ] -> add (Gate.If_x (cb, parse_index pos ~reg:"q" qarg))
+             | _ -> fail pos "only `if (c[i]) x q[j]` is supported")
+          | _ -> fail pos "malformed if condition"
         end
         else if starts_with "measure " then begin
           (* OpenQASM 2: measure q[j] -> c[i] *)
@@ -174,19 +198,19 @@ let of_string text =
           | Some (qarg, carg) ->
             add
               (Gate.Measure
-                 (parse_index line ~reg:"q" qarg, parse_index line ~reg:"c" carg))
-          | None -> fail line "measure needs `-> c[i]`"
+                 (parse_index pos ~reg:"q" qarg, parse_index pos ~reg:"c" carg))
+          | None -> fail pos "measure needs `-> c[i]`"
         end
         else if String.contains stmt '=' && not (String.contains stmt '(') then begin
           (* OpenQASM 3: c[i] = measure q[j] *)
           let eq = String.index stmt '=' in
           let lhs = String.trim (String.sub stmt 0 eq) in
           let rhs = String.trim (String.sub stmt (eq + 1) (String.length stmt - eq - 1)) in
-          let cb = parse_index line ~reg:"c" lhs in
+          let cb = parse_index pos ~reg:"c" lhs in
           match String.split_on_char ' ' rhs |> List.filter (fun w -> w <> "") with
           | [ "measure"; qarg ] ->
-            add (Gate.Measure (parse_index line ~reg:"q" qarg, cb))
-          | _ -> fail line "only `c[i] = measure q[j]` assignments are supported"
+            add (Gate.Measure (parse_index pos ~reg:"q" qarg, cb))
+          | _ -> fail pos "only `c[i] = measure q[j]` assignments are supported"
         end
         else begin
           (* gate applications *)
@@ -196,18 +220,28 @@ let of_string text =
             let operands = split_args (String.concat " " args) in
             (match (name, operands) with
              | ("cx" | "cz" | "swap" | "rzz"), [ a; b ] ->
-               let qa = parse_index line ~reg:"q" a
-               and qb = parse_index line ~reg:"q" b in
+               let qa = parse_index pos ~reg:"q" a
+               and qb = parse_index pos ~reg:"q" b in
                (match (name, angle) with
                 | "cx", None -> add (Gate.Cx (qa, qb))
                 | "cz", None -> add (Gate.Cz (qa, qb))
                 | "swap", None -> add (Gate.Swap (qa, qb))
-                | "rzz", Some th -> add (Gate.Rzz (parse_angle line th, qa, qb))
-                | _ -> fail line (Printf.sprintf "bad 2-qubit gate %S" name))
-             | _, [ qarg ] -> one_q line name angle (parse_index line ~reg:"q" qarg)
-             | _ -> fail line (Printf.sprintf "unsupported statement %S" stmt))
+                | "rzz", Some th -> add (Gate.Rzz (parse_angle pos th, qa, qb))
+                | _ -> fail pos (Printf.sprintf "bad 2-qubit gate %S" name))
+             | _, [ qarg ] -> one_q pos name angle (parse_index pos ~reg:"q" qarg)
+             | _ -> fail pos (Printf.sprintf "unsupported statement %S" stmt))
           | [] -> ()
         end)
     (statements text);
   Circuit.of_kinds ~num_qubits:!num_qubits ~num_clbits:!num_clbits
     (List.rev !rev_kinds)
+
+(* [Circuit.of_kinds] validates operand ranges, so the boundary also
+   converts its [Invalid_argument] (e.g. a gate on an undeclared wire)
+   into the structured diagnostic. *)
+let parse text = Guard.Error.protect ~stage ~site:"parse.stmt" (fun () -> parse_exn text)
+
+let of_string text =
+  match parse text with
+  | Ok c -> c
+  | Error e -> failwith ("Qasm_parser: " ^ e.Guard.Error.detail)

@@ -12,6 +12,14 @@
     Angles accept float literals and [pi] expressions ([pi/2], [2*pi],
     [-pi]). *)
 
-(** [of_string text] parses a program. Raises [Failure] with a
-    line-numbered message on unsupported or malformed input. *)
+(** [parse text] parses a program. On unsupported or malformed input the
+    structured error's [detail] pinpoints the statement with a 1-based
+    ["line L, col C"] prefix (the column of the statement's first
+    non-blank character); gate-operand range violations detected at
+    circuit construction are converted too, so [parse] never raises on
+    bad input. *)
+val parse : string -> (Circuit.t, Guard.Error.t) result
+
+(** Thin raising wrapper over {!parse} for legacy callers: raises
+    [Failure] with the same line/column-numbered message. *)
 val of_string : string -> Circuit.t

@@ -13,6 +13,8 @@ let apply_gate rng st creg kind =
   | Quantum.Gate.Barrier _ -> ()
 
 let run_shot rng (c : Quantum.Circuit.t) =
+  Guard.Inject.hit "sim.shot";
+  Guard.Budget.checkpoint ~stage:"sim.executor" ~site:"sim.shot";
   let st = State.init c.num_qubits in
   let creg = ref 0 in
   Array.iter (fun g -> apply_gate rng st creg g.Quantum.Gate.kind) c.gates;

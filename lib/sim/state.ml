@@ -1,13 +1,40 @@
 type t = { n : int; re : float array; im : float array }
 
-let max_qubits = 24
+(* The dense vector is 2 * 8 bytes per amplitude: 26 qubits is already
+   a 1 GiB state, so the ceiling is absolute regardless of the
+   configured cap. *)
+let hard_max_qubits = 26
+let default_max_qubits = 24
+
+let cap = Atomic.make default_max_qubits
+
+let set_max_qubits n = Atomic.set cap (max 1 (min hard_max_qubits n))
+let max_qubits () = Atomic.get cap
+
+(* The cap check allocates nothing: an over-wide request is refused
+   before the 2^n arrays exist, as a typed error rather than an OOM. *)
+let make n =
+  let c = Atomic.get cap in
+  if n < 0 then
+    Error
+      (Guard.Error.v ~stage:"sim.state" ~site:"sim.alloc"
+         (Printf.sprintf "negative width %d" n))
+  else if n > c then
+    Error
+      (Guard.Error.v ~stage:"sim.state" ~site:"sim.alloc"
+         (Printf.sprintf
+            "%d qubits exceeds the simulator cap of %d (2^%d amplitudes)" n c n))
+  else begin
+    let size = 1 lsl n in
+    let re = Array.make size 0. and im = Array.make size 0. in
+    re.(0) <- 1.;
+    Ok { n; re; im }
+  end
 
 let init n =
-  if n < 0 || n > max_qubits then invalid_arg "State.init: unsupported width";
-  let size = 1 lsl n in
-  let re = Array.make size 0. and im = Array.make size 0. in
-  re.(0) <- 1.;
-  { n; re; im }
+  match make n with
+  | Ok st -> st
+  | Error _ -> invalid_arg "State.init: unsupported width"
 
 let num_qubits st = st.n
 

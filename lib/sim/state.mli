@@ -5,8 +5,22 @@
 
 type t
 
-(** [init n] is |0...0> on [n] qubits. [n <= 24] enforced (dense vector). *)
+(** [make n] is |0...0> on [n] qubits, or a typed error when [n] is
+    negative or exceeds the configured cap ({!max_qubits}, default 24).
+    The check runs before any allocation, so an over-wide request costs
+    nothing — a structured refusal instead of an OOM. *)
+val make : int -> (t, Guard.Error.t) result
+
+(** Raising wrapper over {!make}: raises [Invalid_argument] on an
+    unsupported width. *)
 val init : int -> t
+
+(** Current simulator width cap (qubits). *)
+val max_qubits : unit -> int
+
+(** [set_max_qubits n] sets the cap, clamped to [\[1, 26\]] — the hard
+    ceiling past which the dense vector no longer fits sane memory. *)
+val set_max_qubits : int -> unit
 
 val num_qubits : t -> int
 

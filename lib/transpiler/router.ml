@@ -66,10 +66,16 @@ let route device layout (circuit : Quantum.Circuit.t) =
   let dist a b = Hardware.Device.distance device a b in
   let last_swap = ref (-1, -1) in
   let progress = ref true in
+  (* A diverging search trips the step budget as a typed, recoverable
+     error instead of an untyped failwith; the same ticker also honours
+     any cooperative wall-clock deadline. *)
   let swap_budget = (100 * n) + 1000 in
+  let tick =
+    Guard.Budget.ticker ~stage:"transpiler.router" ~site:"route.swap"
+      ~limit:swap_budget ()
+  in
   while !frontier <> [] do
-    if !swaps > swap_budget then
-      failwith "Router.route: swap budget exceeded (routing diverged)";
+    tick ();
     if not !progress then begin
       (* Blocked: every frontier gate is a non-adjacent two-qubit gate.
          Choose the best swap among edges incident to frontier qubits. *)
@@ -124,6 +130,7 @@ let route device layout (circuit : Quantum.Circuit.t) =
         candidates;
       (match !best with
        | Some (p1, p2, _) ->
+         Guard.Inject.hit "route.swap";
          Quantum.Circuit.Builder.swap out p1 p2;
          Layout.apply_swap layout p1 p2;
          incr swaps;

@@ -35,4 +35,105 @@ let cases =
         Alcotest.test_case e.Fuzz.Corpus.file `Quick (replay dir e))
       entries
 
-let () = Alcotest.run "corpus" [ ("replay", cases) ]
+(* ---- crash-safe writes ---- *)
+
+let scratch_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "caqr-test-corpus"
+  in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  dir
+
+let tiny_circuit () =
+  let module B = Quantum.Circuit.Builder in
+  let b = B.create ~num_qubits:2 ~num_clbits:2 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 1 1;
+  B.build b
+
+let test_add_roundtrip () =
+  let dir = scratch_dir () in
+  let c = tiny_circuit () in
+  let entry =
+    Fuzz.Corpus.add ~dir ~seed:7 ~oracle:Fuzz.Oracle.Roundtrip
+      ~note:"tab\there newline\nthere" c
+  in
+  (match Fuzz.Corpus.load dir with
+  | [ e ] ->
+    Alcotest.(check string) "file" entry.Fuzz.Corpus.file e.Fuzz.Corpus.file;
+    Alcotest.(check int) "seed" 7 e.Fuzz.Corpus.seed;
+    Alcotest.(check string)
+      "note cleaned" "tab here newline there" e.Fuzz.Corpus.note
+  | es -> Alcotest.failf "expected 1 manifest entry, got %d" (List.length es));
+  let back = Fuzz.Corpus.read_circuit ~dir entry in
+  Alcotest.(check string)
+    "header is invisible to the parser"
+    (Quantum.Qasm.to_string c)
+    (Quantum.Qasm.to_string back)
+
+let test_injected_write_fault_leaves_no_debris () =
+  let dir = scratch_dir () in
+  let c = tiny_circuit () in
+  let before =
+    Fuzz.Corpus.add ~dir ~seed:1 ~oracle:Fuzz.Oracle.Roundtrip ~note:"first" c
+  in
+  Guard.Inject.arm "corpus.write";
+  (match
+     Fun.protect ~finally:Guard.Inject.disarm (fun () ->
+         Fuzz.Corpus.add ~dir ~seed:2 ~oracle:Fuzz.Oracle.Roundtrip
+           ~note:"second" c)
+   with
+  | _ -> Alcotest.fail "armed corpus.write must fail the add"
+  | exception Guard.Error.Guard_error e ->
+    Alcotest.(check string) "structured" "corpus.write" e.Guard.Error.site);
+  (* The failed add left nothing behind: no temp file, no truncated
+     circuit, and the manifest still lists exactly the first entry. *)
+  let files = Array.to_list (Sys.readdir dir) |> List.sort compare in
+  Alcotest.(check (list string))
+    "only the first circuit and the manifest"
+    [ "manifest.tsv"; before.Fuzz.Corpus.file ]
+    files;
+  (match Fuzz.Corpus.load dir with
+  | [ e ] ->
+    Alcotest.(check string) "manifest intact" before.Fuzz.Corpus.file
+      e.Fuzz.Corpus.file
+  | es -> Alcotest.failf "expected 1 entry after fault, got %d" (List.length es));
+  (* ... and a retry (fault spent) succeeds. *)
+  let again =
+    Fuzz.Corpus.add ~dir ~seed:2 ~oracle:Fuzz.Oracle.Roundtrip ~note:"second" c
+  in
+  Alcotest.(check int) "both entries listed" 2
+    (List.length (Fuzz.Corpus.load dir));
+  ignore (Fuzz.Corpus.read_circuit ~dir again)
+
+let test_manifest_rebuilt_from_directory () =
+  let dir = scratch_dir () in
+  let c = tiny_circuit () in
+  let first =
+    Fuzz.Corpus.add ~dir ~seed:3 ~oracle:Fuzz.Oracle.Roundtrip ~note:"keep" c
+  in
+  (* Simulate a corrupted/lost manifest: the next add rebuilds it from
+     the files' metadata headers alone. *)
+  Sys.remove (Filename.concat dir "manifest.tsv");
+  ignore
+    (Fuzz.Corpus.add ~dir ~seed:4 ~oracle:Fuzz.Oracle.Roundtrip ~note:"new" c);
+  let files = List.map (fun e -> e.Fuzz.Corpus.file) (Fuzz.Corpus.load dir) in
+  Alcotest.(check bool) "lost entry recovered from its header" true
+    (List.mem first.Fuzz.Corpus.file files);
+  Alcotest.(check int) "both present" 2 (List.length files)
+
+let crash_safety =
+  [
+    Alcotest.test_case "add/load/read roundtrip" `Quick test_add_roundtrip;
+    Alcotest.test_case "injected fault leaves no debris" `Quick
+      test_injected_write_fault_leaves_no_debris;
+    Alcotest.test_case "manifest rebuilt from directory" `Quick
+      test_manifest_rebuilt_from_directory;
+  ]
+
+let () =
+  Alcotest.run "corpus" [ ("replay", cases); ("crash-safety", crash_safety) ]

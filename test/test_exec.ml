@@ -45,17 +45,72 @@ let test_jobs_clamped () =
 
 let test_exception_mid_batch () =
   (* Every task runs; the FIRST failing task in submission order wins,
-     regardless of which domain hit its exception first. *)
+     regardless of which domain hit its exception first. The re-raise
+     is a structured Guard_error carrying the failing task's index. *)
   List.iter
     (fun jobs ->
-      Alcotest.check_raises
-        (Printf.sprintf "first failure at jobs=%d" jobs)
-        (Failure "task 5") (fun () ->
-          ignore
-            (Exec.Pool.map ~jobs
-               (fun x ->
-                 if x >= 5 then failwith (Printf.sprintf "task %d" x) else x)
-               (List.init 12 Fun.id))))
+      match
+        Exec.Pool.map ~jobs
+          (fun x -> if x >= 5 then failwith "boom" else x)
+          (List.init 12 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected a failure" jobs
+      | exception Guard.Error.Guard_error e ->
+        check Alcotest.string
+          (Printf.sprintf "stage at jobs=%d" jobs)
+          "exec.pool" e.Guard.Error.stage;
+        check Alcotest.string
+          (Printf.sprintf "site at jobs=%d" jobs)
+          "pool.task" e.Guard.Error.site;
+        check Alcotest.string
+          (Printf.sprintf "first failure at jobs=%d" jobs)
+          "task 5: boom" e.Guard.Error.detail;
+        check bool
+          (Printf.sprintf "not recoverable at jobs=%d" jobs)
+          false e.Guard.Error.recoverable)
+    jobs_grid
+
+let test_poisoned_task_index_stable () =
+  (* A task poisoned through a (non-transient) injection site fails with
+     the site's name preserved; jobs=1 and jobs=4 report the SAME task
+     index. *)
+  let detail_at jobs =
+    Guard.Inject.arm "route.swap";
+    Fun.protect ~finally:Guard.Inject.disarm @@ fun () ->
+    match
+      Exec.Pool.map ~jobs
+        (fun x ->
+          if x = 5 then Guard.Inject.hit "route.swap";
+          x)
+        (List.init 12 Fun.id)
+    with
+    | _ -> Alcotest.failf "jobs=%d: expected the armed fault to fire" jobs
+    | exception Guard.Error.Guard_error e ->
+      check Alcotest.string
+        (Printf.sprintf "inner site kept at jobs=%d" jobs)
+        "route.swap" e.Guard.Error.site;
+      e.Guard.Error.detail
+  in
+  let reference = detail_at 1 in
+  check bool "detail names a task" true
+    (String.length reference > 7 && String.sub reference 0 7 = "task 5:");
+  check Alcotest.string "same index at jobs=4" reference (detail_at 4)
+
+let test_transient_fault_retried () =
+  (* The pool.task site is transient: an armed fault fires once, the
+     bounded retry re-runs the task, and the batch still succeeds. *)
+  List.iter
+    (fun jobs ->
+      Guard.Inject.arm ~at_hit:6 "pool.task";
+      Fun.protect ~finally:Guard.Inject.disarm @@ fun () ->
+      let xs = List.init 12 Fun.id in
+      check (Alcotest.list int)
+        (Printf.sprintf "recovered at jobs=%d" jobs)
+        xs
+        (Exec.Pool.map ~jobs Fun.id xs);
+      check int
+        (Printf.sprintf "fault fired once at jobs=%d" jobs)
+        1 (Guard.Inject.fired ()))
     jobs_grid
 
 let test_mapi_indices () =
@@ -222,6 +277,8 @@ let () =
           Alcotest.test_case "jobs > tasks" `Quick test_jobs_exceed_tasks;
           Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
           Alcotest.test_case "exception mid-batch" `Quick test_exception_mid_batch;
+          Alcotest.test_case "poisoned task index stable" `Quick test_poisoned_task_index_stable;
+          Alcotest.test_case "transient fault retried" `Quick test_transient_fault_retried;
           Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
           Alcotest.test_case "seeded streams stable" `Quick test_seeded_streams_stable;
         ] );

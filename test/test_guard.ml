@@ -1,0 +1,338 @@
+(* The resilience layer: structured errors, cooperative budgets, fault
+   injection, the pool retry, the degradation ladder — and the chaos
+   matrix that sweeps every registered site across real benchmarks. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let entry name = Benchmarks.Suite.find name
+
+let input_of name =
+  let e = entry name in
+  match e.Benchmarks.Suite.kind with
+  | Benchmarks.Suite.Regular -> Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+  | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+
+let device_of name =
+  let e = entry name in
+  Hardware.Device.heavy_hex_for
+    e.Benchmarks.Suite.circuit.Quantum.Circuit.num_qubits
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- Guard.Error ---- *)
+
+let test_error_of_exn () =
+  let e = Guard.Error.of_exn ~stage:"s" (Failure "boom") in
+  check string "failure detail" "boom" e.Guard.Error.detail;
+  check string "default site" "exn" e.Guard.Error.site;
+  let orig = Guard.Error.v ~stage:"a" ~site:"b" "kept" in
+  let through =
+    Guard.Error.of_exn ~stage:"other" (Guard.Error.Guard_error orig)
+  in
+  check string "guard errors pass through" "a" through.Guard.Error.stage
+
+let test_protect_converts () =
+  (match Guard.Error.protect ~stage:"s" (fun () -> invalid_arg "nope") with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    check bool "detail mentions message" true
+      (contains e.Guard.Error.detail "nope"));
+  check (Alcotest.result int Alcotest.reject) "ok passes through" (Ok 7)
+    (match Guard.Error.protect ~stage:"s" (fun () -> 7) with
+     | Ok v -> Ok v
+     | Error _ -> Alcotest.fail "unexpected error")
+
+let test_protect_reraises_control () =
+  Alcotest.check_raises "Exit is never converted" Exit (fun () ->
+      ignore (Guard.Error.protect ~stage:"s" (fun () -> raise Exit)))
+
+(* ---- Guard.Budget ---- *)
+
+let expect_budget_trip name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Budget_exceeded" name
+  | exception Guard.Error.Budget_exceeded e -> e
+
+let test_ticker_step_limit () =
+  let tick = Guard.Budget.ticker ~stage:"t" ~site:"s" ~limit:3 () in
+  tick ();
+  tick ();
+  tick ();
+  let e = expect_budget_trip "4th tick" (fun () -> tick ()) in
+  check bool "limit named" true
+    (contains e.Guard.Error.detail "limit 3")
+
+let test_deadline_trips_matching () =
+  let g = Galg.Graph.create 6 in
+  List.iter (fun (u, v) -> Galg.Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ];
+  let e =
+    expect_budget_trip "blossom under 0ms deadline" (fun () ->
+        Guard.Budget.with_deadline ~ms:0 (fun () -> Galg.Matching.blossom g))
+  in
+  check string "site" "match.augment" e.Guard.Error.site
+
+let test_deadline_trips_router () =
+  let e = entry "Multiply_13" in
+  let device = device_of "Multiply_13" in
+  let err =
+    expect_budget_trip "router under 0ms deadline" (fun () ->
+        Guard.Budget.with_deadline ~ms:0 (fun () ->
+            Transpiler.Transpile.run device e.Benchmarks.Suite.circuit))
+  in
+  check string "site" "route.swap" err.Guard.Error.site
+
+let test_deadline_trips_sim () =
+  let module B = Quantum.Circuit.Builder in
+  let b = B.create ~num_qubits:2 ~num_clbits:2 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 0 0;
+  B.measure b 1 1;
+  let c = B.build b in
+  let err =
+    expect_budget_trip "executor under 0ms deadline" (fun () ->
+        Guard.Budget.with_deadline ~ms:0 (fun () ->
+            Sim.Executor.run ~jobs:1 ~seed:1 ~shots:16 c))
+  in
+  check string "site" "sim.shot" err.Guard.Error.site
+
+let test_deadline_restored () =
+  check bool "disarmed before" false (Guard.Budget.has_deadline ());
+  (try
+     Guard.Budget.with_deadline ~ms:0 (fun () ->
+         check bool "armed inside" true (Guard.Budget.has_deadline ());
+         Guard.Budget.checkpoint ~stage:"t" ~site:"s")
+   with Guard.Error.Budget_exceeded _ -> ());
+  check bool "disarmed after" false (Guard.Budget.has_deadline ())
+
+(* ---- Sim.State cap ---- *)
+
+let test_sim_qubit_cap () =
+  (match Sim.State.make 40 with
+  | Ok _ -> Alcotest.fail "40 qubits must be refused"
+  | Error e ->
+    check string "stage" "sim.state" e.Guard.Error.stage;
+    check bool "cap named" true (contains e.Guard.Error.detail "cap"));
+  (match Sim.State.make (-1) with
+  | Ok _ -> Alcotest.fail "negative width must be refused"
+  | Error _ -> ());
+  (match Sim.State.make 2 with
+  | Ok st -> check int "2 qubits allocate" 2 (Sim.State.num_qubits st)
+  | Error _ -> Alcotest.fail "2 qubits must fit");
+  Sim.State.set_max_qubits 3;
+  Fun.protect ~finally:(fun () -> Sim.State.set_max_qubits 24) @@ fun () ->
+  check int "cap readable" 3 (Sim.State.max_qubits ());
+  (match Sim.State.make 4 with
+  | Ok _ -> Alcotest.fail "4 qubits must exceed the lowered cap"
+  | Error _ -> ());
+  Alcotest.check_raises "init raises the legacy exception"
+    (Invalid_argument "State.init: unsupported width") (fun () ->
+      ignore (Sim.State.init 4))
+
+(* ---- Guard.Inject ---- *)
+
+let test_inject_unknown_site () =
+  Alcotest.check_raises "unknown site"
+    (Invalid_argument "Guard.Inject.arm: unknown site \"no.such.site\"")
+    (fun () -> Guard.Inject.arm "no.such.site")
+
+let test_inject_single_shot () =
+  Guard.Inject.arm ~at_hit:2 "route.swap";
+  Fun.protect ~finally:Guard.Inject.disarm @@ fun () ->
+  check (Alcotest.option string) "armed" (Some "route.swap")
+    (Guard.Inject.armed ());
+  Guard.Inject.hit "sr.place" (* other sites pass *);
+  Guard.Inject.hit "route.swap" (* hit 1 of 2: passes *);
+  check int "not fired yet" 0 (Guard.Inject.fired ());
+  (match Guard.Inject.hit "route.swap" with
+  | () -> Alcotest.fail "hit 2 must fire"
+  | exception Guard.Error.Guard_error e ->
+    check string "site" "route.swap" e.Guard.Error.site;
+    check bool "non-transient site not recoverable" false
+      e.Guard.Error.recoverable);
+  check int "fired once" 1 (Guard.Inject.fired ());
+  Guard.Inject.hit "route.swap" (* spent: passes again *);
+  check int "still once" 1 (Guard.Inject.fired ())
+
+let test_inject_catalog_shape () =
+  let sites = Guard.Inject.sites in
+  check bool "at least 8 sites" true (List.length sites >= 8);
+  let libs =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Guard.Inject.lib) sites)
+  in
+  check bool "spans at least 5 libraries" true (List.length libs >= 5);
+  check int "names unique"
+    (List.length sites)
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun s -> s.Guard.Inject.name) sites)))
+
+(* ---- degradation ladder ---- *)
+
+let test_ladder_demotes () =
+  let device = device_of "XOR_5" in
+  let input = input_of "XOR_5" in
+  Guard.Inject.arm "sr.place";
+  Fun.protect ~finally:Guard.Inject.disarm @@ fun () ->
+  let r =
+    Caqr.Pipeline.compile
+      ~options:{ Caqr.Pipeline.default with Caqr.Pipeline.fallback = true }
+      device Caqr.Pipeline.Sr input
+  in
+  check bool "not compiled by Sr" true
+    (r.Caqr.Pipeline.strategy <> Caqr.Pipeline.Sr);
+  check int "one demotion recorded" 1 (List.length r.Caqr.Pipeline.degraded);
+  let d = List.hd r.Caqr.Pipeline.degraded in
+  check bool "failed rung is Sr" true
+    (d.Caqr.Pipeline.from_strategy = Caqr.Pipeline.Sr);
+  check string "error site" "sr.place" d.Caqr.Pipeline.error.Guard.Error.site
+
+let test_ladder_off_by_default () =
+  let device = device_of "XOR_5" in
+  let input = input_of "XOR_5" in
+  Guard.Inject.arm "sr.place";
+  Fun.protect ~finally:Guard.Inject.disarm @@ fun () ->
+  match Caqr.Pipeline.compile device Caqr.Pipeline.Sr input with
+  | _ -> Alcotest.fail "without fallback the failure must propagate"
+  | exception Guard.Error.Guard_error e ->
+    check string "raw structured error" "sr.place" e.Guard.Error.site
+
+let test_no_faults_no_degradation () =
+  let device = device_of "XOR_5" in
+  let input = input_of "XOR_5" in
+  let strict = Caqr.Pipeline.compile device Caqr.Pipeline.Sr input in
+  let supervised =
+    Caqr.Pipeline.compile
+      ~options:{ Caqr.Pipeline.default with Caqr.Pipeline.fallback = true }
+      device Caqr.Pipeline.Sr input
+  in
+  check int "no demotions" 0 (List.length supervised.Caqr.Pipeline.degraded);
+  check bool "fallback changes nothing when healthy" true
+    (Quantum.Qasm.to_string supervised.Caqr.Pipeline.physical
+    = Quantum.Qasm.to_string strict.Caqr.Pipeline.physical)
+
+(* ---- parser diagnostics ---- *)
+
+let expect_parse_error name text =
+  match Quantum.Qasm_parser.parse text with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+  | Error e -> e.Guard.Error.detail
+
+let test_parser_diagnostics () =
+  let d =
+    expect_parse_error "unknown gate" "qubit[2] q;\nwibble q[0];\n"
+  in
+  check bool "line 2 col 1" true (contains d "line 2, col 1");
+  check bool "gate named" true (contains d "wibble");
+  let d =
+    expect_parse_error "bad index" "qubit[2] q;\nh q[x];\n"
+  in
+  check bool "bad index located" true (contains d "line 2");
+  let d =
+    expect_parse_error "truncated measure" "qubit[1] q;\nbit[1] c;\nmeasure q[0];\n"
+  in
+  check bool "measure arrow diagnostic" true (contains d "line 3");
+  let d =
+    expect_parse_error "bad declaration" "qubit[oops] q;\n"
+  in
+  check bool "declaration located" true (contains d "line 1, col 1");
+  (* the column points at the statement, not the line start *)
+  let d = expect_parse_error "indented" "qubit[2] q;\n   wibble q[0];\n" in
+  check bool "col 4 for indented stmt" true (contains d "line 2, col 4")
+
+let test_parser_ok_roundtrip () =
+  match Quantum.Qasm_parser.parse "qubit[2] q;\nbit[2] c;\nh q[0];\ncx q[0], q[1];\nc[0] = measure q[0];\n" with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Guard.Error.to_string e)
+  | Ok c ->
+    check int "qubits" 2 c.Quantum.Circuit.num_qubits;
+    check int "gates" 3 (Array.length c.Quantum.Circuit.gates)
+
+(* ---- chaos matrix ---- *)
+
+let chaos_benches () =
+  [ ("XOR_5", input_of "XOR_5"); ("QAOA5-0.3", input_of "QAOA5-0.3") ]
+
+let test_chaos_contained () =
+  let cells = Fuzz.Chaos.run ~seed:1 (chaos_benches ()) in
+  check int "full matrix"
+    (2 * List.length Guard.Inject.sites)
+    (List.length cells);
+  List.iter
+    (fun (c : Fuzz.Chaos.cell) ->
+      match c.Fuzz.Chaos.outcome with
+      | Fuzz.Chaos.Uncontained why ->
+        Alcotest.failf "site %s escaped on %s: %s"
+          c.Fuzz.Chaos.site.Guard.Inject.name c.Fuzz.Chaos.bench why
+      | Fuzz.Chaos.Verify_failed why ->
+        Alcotest.failf "site %s let a refuted artifact through on %s: %s"
+          c.Fuzz.Chaos.site.Guard.Inject.name c.Fuzz.Chaos.bench why
+      | _ -> ())
+    cells;
+  check bool "all contained" true (Fuzz.Chaos.all_contained cells);
+  (* the two benches together must reach every registered site *)
+  check int "every site fired"
+    (List.length Guard.Inject.sites)
+    (List.length (Fuzz.Chaos.sites_fired cells))
+
+let test_chaos_deterministic () =
+  let render cells = Format.asprintf "%a" Fuzz.Chaos.pp_matrix cells in
+  let a = render (Fuzz.Chaos.run ~seed:1 (chaos_benches ())) in
+  let b = render (Fuzz.Chaos.run ~seed:1 (chaos_benches ())) in
+  check string "same seed, same matrix" a b
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "error",
+        [
+          Alcotest.test_case "of_exn" `Quick test_error_of_exn;
+          Alcotest.test_case "protect converts" `Quick test_protect_converts;
+          Alcotest.test_case "protect re-raises control" `Quick
+            test_protect_reraises_control;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "ticker step limit" `Quick test_ticker_step_limit;
+          Alcotest.test_case "deadline trips matching" `Quick
+            test_deadline_trips_matching;
+          Alcotest.test_case "deadline trips router" `Quick
+            test_deadline_trips_router;
+          Alcotest.test_case "deadline trips sim" `Quick
+            test_deadline_trips_sim;
+          Alcotest.test_case "deadline restored" `Quick test_deadline_restored;
+          Alcotest.test_case "sim qubit cap" `Quick test_sim_qubit_cap;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "unknown site" `Quick test_inject_unknown_site;
+          Alcotest.test_case "single shot" `Quick test_inject_single_shot;
+          Alcotest.test_case "catalog shape" `Quick test_inject_catalog_shape;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "demotes on fault" `Quick test_ladder_demotes;
+          Alcotest.test_case "off by default" `Quick test_ladder_off_by_default;
+          Alcotest.test_case "no faults, no degradation" `Quick
+            test_no_faults_no_degradation;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "diagnostics carry line+col" `Quick
+            test_parser_diagnostics;
+          Alcotest.test_case "ok roundtrip" `Quick test_parser_ok_roundtrip;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "matrix contained" `Slow test_chaos_contained;
+          Alcotest.test_case "matrix deterministic" `Slow
+            test_chaos_deterministic;
+        ] );
+    ]
