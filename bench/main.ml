@@ -856,6 +856,71 @@ let perf () =
   close_out oc;
   Printf.printf "=> wrote BENCH_caqr.json\n"
 
+(* ---------------------------------------------------------------- serve *)
+
+(* The compilation service (lib/serve): the same request handled cold
+   (full compile, cache miss) and warm (content-addressed hit replaying
+   the stored bytes). The interesting numbers are the warm latency —
+   the floor a daemon can answer repeat compiles at — and the identity
+   of the two result objects, which is the cache's correctness
+   contract. Uses handle_line directly, so no socket noise. *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let serve_result_part line =
+  let needle = "\"result\":" in
+  let nh = String.length line and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then line
+    else if String.sub line i nn = needle then String.sub line i (nh - i)
+    else go (i + 1)
+  in
+  go 0
+
+let serve_exp () =
+  section "serve" "compilation service: cold vs warm request latency (lib/serve)";
+  let t = Serve.Server.create Serve.Server.default_config in
+  Printf.printf "%-14s %12s %12s %10s %10s\n" "benchmark" "cold (ms)"
+    "warm (ms)" "speedup" "identical";
+  let total_cold = ref 0.0 and total_warm = ref 0.0 in
+  List.iter
+    (fun name ->
+      let req =
+        Printf.sprintf {|{"op":"compile","bench":%S,"strategy":"qs-max-reuse"}|}
+          name
+      in
+      let probe () =
+        let t0 = Unix.gettimeofday () in
+        let r, _ = Serve.Server.handle_line t req in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let cold_s, cold = probe () in
+      (* Warm: best of 3, the replay path has no variance worth keeping. *)
+      let best = ref (probe ()) in
+      for _ = 1 to 2 do
+        let m = probe () in
+        if fst m < fst !best then best := m
+      done;
+      let warm_s, warm = !best in
+      let identical =
+        serve_result_part cold = serve_result_part warm
+        && contains_sub warm "\"cache\":\"hit\""
+      in
+      if not identical then incr structural_violations;
+      total_cold := !total_cold +. cold_s;
+      total_warm := !total_warm +. warm_s;
+      Printf.printf "%-14s %12.3f %12.3f %9.0fx %10b\n" name (1000. *. cold_s)
+        (1000. *. warm_s)
+        (cold_s /. warm_s)
+        identical)
+    [ "BV_10"; "CC_10"; "Multiply_13"; "RD-32" ];
+  Printf.printf "=> aggregate warm speedup: %.0fx (cold %.1f ms, warm %.2f ms)\n"
+    (!total_cold /. !total_warm)
+    (1000. *. !total_cold) (1000. *. !total_warm)
+
 (* ----------------------------------------------------------------- main *)
 
 let experiments =
@@ -876,6 +941,7 @@ let experiments =
     ("ablation:matching", ablation_matching);
     ("ablation:noise", ablation_noise);
     ("verify", verify_exp);
+    ("serve", serve_exp);
     ("parallel", parallel_exp);
     ("perf", perf);
     ("micro", micro);

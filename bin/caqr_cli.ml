@@ -9,9 +9,12 @@
      verify   <bench>          translation-validate every strategy's output
      fuzz                      differential fuzzing with replayable seeds
      chaos                     fault-injection sweep over every guard site
+     serve                     compilation-as-a-service daemon (Unix socket)
+     call                      send newline-JSON requests to a daemon
 
-   Exit codes (see README): 0 success; 1 verification/oracle violation;
-   2 usage error; 3 compile degraded to baseline; 4 internal error. *)
+   Exit codes (see README): 0 success; 1 verification/oracle violation
+   (or, for call, a request answered ok:false); 2 usage error; 3 compile
+   degraded to baseline; 4 internal error. *)
 
 let all_strategies =
   [
@@ -525,16 +528,127 @@ let chaos_cmd =
           guards.")
     Cmdliner.Term.(const run $ chaos_seed_flag $ timeout_flag $ chaos_bench_flag)
 
+(* ---- serve: the compilation-as-a-service daemon ---- *)
+
+let socket_flag =
+  Cmdliner.Arg.(
+    value
+    & opt string Serve.Server.default_config.Serve.Server.socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let cache_dir_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "On-disk cache tier. Entries are keyed on (engine version, \
+             circuit digest, options fingerprint) and written \
+             crash-safely (temp+rename); entries from older engine \
+             versions are never served. Default: memory tier only.")
+  in
+  let cache_mem_flag =
+    Cmdliner.Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.mem_capacity
+      & info [ "cache-mem" ] ~docv:"N"
+          ~doc:"In-memory LRU capacity in entries (0 disables the tier).")
+  in
+  let default_deadline_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Budget given to requests that carry no deadline_ms.")
+  in
+  let max_deadline_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Admission cap: per-request deadlines are clamped to this.")
+  in
+  let max_batch_flag =
+    Cmdliner.Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.max_batch
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Most pipelined requests dispatched in one pool batch.")
+  in
+  let run socket cache_dir mem_capacity jobs default_deadline_ms max_deadline_ms
+      max_batch =
+    let server =
+      Serve.Server.create
+        {
+          Serve.Server.default_config with
+          Serve.Server.socket;
+          cache_dir;
+          mem_capacity;
+          jobs;
+          default_deadline_ms;
+          max_deadline_ms;
+          max_batch;
+        }
+    in
+    Printf.printf "caqr_cli serve: %s listening on %s (jobs %d%s)\n%!"
+      Caqr.Version.engine socket jobs
+      (match cache_dir with
+       | Some d -> Printf.sprintf ", disk cache %s" d
+       | None -> "");
+    Serve.Server.run server;
+    Printf.printf "caqr_cli serve: shutdown\n%!"
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "serve"
+       ~doc:
+         "Run the compilation service: a long-lived daemon answering \
+          newline-JSON compile/verify/simulate/stats/shutdown requests \
+          over a Unix-domain socket, batching pipelined requests onto \
+          the execution pool and answering repeats from a \
+          content-addressed cache")
+    Cmdliner.Term.(
+      const run $ socket_flag $ cache_dir_flag $ cache_mem_flag $ jobs_flag
+      $ default_deadline_flag $ max_deadline_flag $ max_batch_flag)
+
+(* ---- call: one-shot client for scripts, CI and debugging ---- *)
+
+let call_cmd =
+  let requests_pos =
+    Cmdliner.Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:"JSON request objects, one per argument, sent as one batch.")
+  in
+  let run socket requests =
+    let responses = Serve.Client.call_retry ~socket requests in
+    List.iter print_endline responses;
+    let failed r =
+      (* Responses are single-line JSON objects; a failure always
+         carries the literal field "ok":false. *)
+      let needle = "\"ok\":false" in
+      let n = String.length needle and m = String.length r in
+      let rec go i = i + n <= m && (String.sub r i n = needle || go (i + 1)) in
+      go 0
+    in
+    if List.exists failed responses then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "call"
+       ~doc:
+         "Send request lines to a running daemon and print one response \
+          per line; exits 1 if any response is ok:false")
+    Cmdliner.Term.(const run $ socket_flag $ requests_pos)
+
 let () =
   let info =
-    Cmdliner.Cmd.info "caqr_cli" ~version:"1.0.0"
+    Cmdliner.Cmd.info "caqr_cli" ~version:Caqr.Version.string
       ~doc:"Compiler-assisted qubit reuse through dynamic circuits"
   in
   let code =
     try
       Cmdliner.Cmd.eval ~catch:false
         (Cmdliner.Cmd.group info
-           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd ])
+           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd; serve_cmd; call_cmd ])
     with
     | Guard.Error.Guard_error e | Guard.Error.Budget_exceeded e ->
       (* Structured errors crossing the command boundary are internal

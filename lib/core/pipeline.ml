@@ -59,6 +59,39 @@ let strategy_name = function
   | Qs_target n -> Printf.sprintf "qs-target-%d" n
   | Sr -> "sr"
 
+(* Every field that can change the compiled artifact or the report body
+   lands in the fingerprint; fields that by contract only change
+   wall-clock ([jobs] — the pool is byte-identical for any value — and
+   [collect_metrics], which only attaches a snapshot) are deliberately
+   excluded, so a warm cache survives a [--jobs] change. [deadline_ms]
+   is execution policy, not semantics: a cached artifact trivially meets
+   any deadline, and results that only exist by grace of the degradation
+   ladder are never cached (the service skips storing degraded
+   reports). *)
+let options_fingerprint o =
+  let objective =
+    match o.search.Qs_caqr.objective with
+    | Qs_caqr.Depth -> "depth"
+    | Qs_caqr.Duration -> "duration"
+  in
+  let order =
+    match o.search.Qs_caqr.order with
+    | Qs_caqr.Score -> "score"
+    | Qs_caqr.Chain -> "chain"
+    | Qs_caqr.Both -> "both"
+  in
+  let engine =
+    match o.search.Qs_caqr.engine with
+    | Qs_caqr.Incremental -> "incremental"
+    | Qs_caqr.Fresh -> "fresh"
+  in
+  Printf.sprintf
+    "opts/1;verify=%s;seed=%d;objective=%s;budget=%d;order=%s;engine=%s;fallback=%b"
+    (match o.verify with
+     | None -> "none"
+     | Some l -> Verify.level_name l)
+    o.seed objective o.search.Qs_caqr.budget order engine o.fallback
+
 let logical_of_input = function
   | Regular c -> c
   | Commutable g -> Commute.emit (Commute.make g)
@@ -260,7 +293,13 @@ let compile_ladder ~options device strategy input ~original =
 
 let compile ?(options = default) device strategy input =
   if options.collect_metrics then Obs.Metrics.reset ();
-  Guard.Budget.with_deadline ?ms:options.deadline_ms @@ fun () ->
+  (* A scoped (domain-local) budget, not the process-global deadline:
+     concurrent compiles — e.g. batched service requests fanned out over
+     the pool — each keep their own deadline. The pool re-installs the
+     scope in its worker domains, so the candidate fan-out below is
+     bounded too. *)
+  Guard.Budget.scoped (Guard.Budget.make ?ms:options.deadline_ms ())
+  @@ fun () ->
   let original =
     if not options.fallback then logical_of_input input
     else

@@ -54,6 +54,15 @@ type options = {
 
 val default : options
 
+(** Stable, human-readable fingerprint of every option field that can
+    affect the compiled artifact or report body. [jobs] and
+    [collect_metrics] are excluded (byte-identity contract / snapshot
+    only), as is [deadline_ms] (execution policy — a cached result
+    trivially meets any deadline; degraded reports are never cached).
+    The compilation service combines this with {!Quantum.Circuit.digest}
+    and {!Version.engine} to form its content-addressed cache key. *)
+val options_fingerprint : options -> string
+
 (** One rung of the degradation ladder that failed before the strategy
     in [report.strategy] succeeded. *)
 type degraded = {

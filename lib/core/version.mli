@@ -1,0 +1,12 @@
+(** The engine version, in one place.
+
+    [caqr_cli --version] prints {!string}; the compilation service folds
+    {!engine} into every cache key, so on-disk entries written by an
+    older build are never served — their keys simply no longer match.
+    Bump on any change that can alter a compiled artifact or report. *)
+
+(** Semantic version of the compiler engine, e.g. ["1.6.0"]. *)
+val string : string
+
+(** Cache-key form: ["caqr-" ^ string]. *)
+val engine : string

@@ -69,6 +69,11 @@ let run_array ?jobs f arr =
     Obs.Metrics.incr ~by:jobs "exec.pool.domains";
     let results = Array.make n Pending in
     let elapsed = Array.make jobs 0. in
+    (* Worker domains start with a fresh (disarmed) budget scope, so the
+       caller's scoped deadline is captured here and re-installed in each
+       spawned domain: a per-request budget bounds the request's fan-out
+       too, without touching the process-global deadline. *)
+    let budget = Guard.Budget.current () in
     let work d =
       let t0 = Unix.gettimeofday () in
       for i = d * n / jobs to ((d + 1) * n / jobs) - 1 do
@@ -79,7 +84,9 @@ let run_array ?jobs f arr =
     if jobs = 1 then elapsed.(0) <- work 0
     else begin
       let spawned =
-        Array.init (jobs - 1) (fun d -> Domain.spawn (fun () -> work (d + 1)))
+        Array.init (jobs - 1) (fun d ->
+            Domain.spawn (fun () ->
+                Guard.Budget.scoped budget (fun () -> work (d + 1))))
       in
       elapsed.(0) <- work 0;
       Array.iteri (fun d h -> elapsed.(d + 1) <- Domain.join h) spawned

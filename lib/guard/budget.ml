@@ -1,20 +1,47 @@
-(* Cooperative budgets. The deadline is one process-global atomic
-   absolute time: hot loops in any domain poll it at their checkpoints,
-   so a timeout set around [Pipeline.compile] also bounds work the
-   execution pool fanned out. [infinity] means disarmed, which keeps the
-   disarmed checkpoint down to one atomic load and a float compare — no
-   clock syscall. *)
+(* Cooperative budgets. Two deadline carriers, and every checkpoint
+   honors the tighter one:
+
+   - [deadline]: one process-global atomic absolute time. A timeout set
+     around a whole run bounds work in every domain, including what the
+     execution pool fanned out.
+   - [scope]: a domain-local absolute time (Domain.DLS). A long-lived
+     server gives each request its own deadline here, so requests
+     compiled on different domains never clobber each other the way a
+     shared atomic would. [Exec.Pool] captures the caller's scope with
+     [current] and re-installs it in each worker domain.
+
+   [infinity] means disarmed, which keeps the disarmed checkpoint down
+   to one DLS load, one atomic load and a float compare — no clock
+   syscall. *)
+
+type t = float (* absolute Unix time; infinity = no deadline *)
 
 let deadline = Atomic.make infinity
+let scope = Domain.DLS.new_key (fun () -> infinity)
 
-let has_deadline () = Atomic.get deadline < infinity
+let unlimited = infinity
+
+let make ?ms () =
+  match ms with
+  | None -> infinity
+  | Some ms -> Unix.gettimeofday () +. (float_of_int (max 0 ms) /. 1000.)
+
+let scoped b f =
+  let saved = Domain.DLS.get scope in
+  (* Nested scopes tighten, never extend. *)
+  Domain.DLS.set scope (Float.min saved b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope saved) f
+
+let current () = Float.min (Domain.DLS.get scope) (Atomic.get deadline)
+
+let has_deadline () = current () < infinity
 
 let with_deadline ?ms f =
   match ms with
   | None -> f ()
   | Some ms ->
     let saved = Atomic.get deadline in
-    let mine = Unix.gettimeofday () +. (float_of_int (max 0 ms) /. 1000.) in
+    let mine = make ~ms () in
     (* Nested deadlines tighten, never extend. *)
     Atomic.set deadline (Float.min saved mine);
     Fun.protect ~finally:(fun () -> Atomic.set deadline saved) f
@@ -24,7 +51,7 @@ let trip ~stage ~site detail =
   raise (Error.Budget_exceeded (Error.v ~recoverable:true ~stage ~site detail))
 
 let checkpoint ~stage ~site =
-  let d = Atomic.get deadline in
+  let d = current () in
   if d < infinity && Unix.gettimeofday () > d then
     trip ~stage ~site "wall-clock deadline exceeded"
 

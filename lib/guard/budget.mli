@@ -7,21 +7,56 @@
     diverge. Every trip bumps the ["guard.budget.trips"] counter in
     {!Obs.Metrics}.
 
-    The deadline is process-global (one atomic), so it is visible to
-    every worker domain the execution pool spawns. When no deadline is
-    armed a checkpoint costs one atomic load — no clock read. *)
+    Two deadline mechanisms coexist and a checkpoint honors whichever is
+    tighter:
 
-(** [with_deadline ?ms f] runs [f] under a wall-clock deadline of [ms]
-    milliseconds from now ([None] = no change). Nested deadlines
-    tighten, never extend; the previous deadline is restored on exit,
-    exceptions included. *)
+    - the legacy {b process-global} deadline ({!with_deadline}), one
+      atomic visible to every domain — right for a whole-process bound
+      such as the CLI's [--timeout-ms];
+    - {b scoped} budgets ({!t}, {!scoped}), which are domain-local: two
+      requests compiled on different domains each carry their own
+      deadline without clobbering one another. This is what lets a
+      long-lived server give every request its own budget.
+      {!Exec.Pool} captures the caller's scope ({!current}) and installs
+      it in each worker domain, so fan-out inherits the request's
+      deadline.
+
+    When nothing is armed a checkpoint costs one domain-local load, one
+    atomic load and a float compare — no clock read. *)
+
+(** An immutable budget value: an absolute wall-clock deadline that can
+    be created in one domain and installed ({!scoped}) in another. *)
+type t
+
+(** No deadline at all. [scoped unlimited f] leaves the current scope
+    unchanged. *)
+val unlimited : t
+
+(** [make ?ms ()] is a deadline [ms] milliseconds from now
+    ([None] = {!unlimited}). *)
+val make : ?ms:int -> unit -> t
+
+(** [scoped b f] runs [f] with [b] installed as the current domain's
+    scoped deadline. Nested scopes tighten, never extend; the previous
+    scope is restored on exit, exceptions included. *)
+val scoped : t -> (unit -> 'a) -> 'a
+
+(** The deadline in effect for this domain: the tighter of the scoped
+    and the process-global deadline. Capture it before handing work to
+    another domain, then install it there with {!scoped}. *)
+val current : unit -> t
+
+(** [with_deadline ?ms f] runs [f] under a {b process-global} wall-clock
+    deadline of [ms] milliseconds from now ([None] = no change). Nested
+    deadlines tighten, never extend; the previous deadline is restored
+    on exit, exceptions included. *)
 val with_deadline : ?ms:int -> (unit -> 'a) -> 'a
 
-(** Is any deadline currently armed? *)
+(** Is any deadline (scoped or global) currently armed? *)
 val has_deadline : unit -> bool
 
 (** [checkpoint ~stage ~site] raises {!Error.Budget_exceeded} when the
-    armed deadline has passed; no-op otherwise. *)
+    tightest armed deadline has passed; no-op otherwise. *)
 val checkpoint : stage:string -> site:string -> unit
 
 (** [ticker ~stage ~site ?limit ()] returns a tick function for one

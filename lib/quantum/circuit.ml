@@ -143,6 +143,54 @@ let pp ppf c =
   Array.iter (fun g -> Format.fprintf ppf "@,  %a" Gate.pp g) c.gates;
   Format.fprintf ppf "@]"
 
+(* ---- content digest ----
+
+   The serialization below is the circuit's semantic content and nothing
+   else: widths plus the ordered gate kinds, with rotation angles
+   rendered as their exact IEEE-754 bit pattern (a decimal rendering
+   would either lose bits or depend on printf rounding). Gate ids, array
+   identity and construction history are invisible, so any two physical
+   representations of the same circuit — built gate by gate, rebuilt by
+   a transformation, or re-parsed from the canonical QASM-3 emission —
+   digest identically. The "circuit/1" tag versions the serialization
+   itself. *)
+let canon_buf b c =
+  Buffer.add_string b
+    (Printf.sprintf "circuit/1 q=%d c=%d\n" c.num_qubits c.num_clbits);
+  let angle th = Printf.sprintf "%Lx" (Int64.bits_of_float th) in
+  let one_q : Gate.one_q -> string = function
+    | H -> "h" | X -> "x" | Y -> "y" | Z -> "z" | S -> "s" | Sdg -> "sdg"
+    | T -> "t" | Tdg -> "tdg" | Sx -> "sx"
+    | Rx th -> "rx " ^ angle th
+    | Ry th -> "ry " ^ angle th
+    | Rz th -> "rz " ^ angle th
+    | Phase th -> "p " ^ angle th
+  in
+  Array.iter
+    (fun (g : Gate.t) ->
+      (match g.Gate.kind with
+       | Gate.One_q (u, q) -> Buffer.add_string b (Printf.sprintf "%s %d" (one_q u) q)
+       | Gate.Cx (a, q) -> Buffer.add_string b (Printf.sprintf "cx %d %d" a q)
+       | Gate.Cz (a, q) -> Buffer.add_string b (Printf.sprintf "cz %d %d" a q)
+       | Gate.Rzz (th, a, q) ->
+         Buffer.add_string b (Printf.sprintf "rzz %s %d %d" (angle th) a q)
+       | Gate.Swap (a, q) -> Buffer.add_string b (Printf.sprintf "swap %d %d" a q)
+       | Gate.Measure (q, cb) ->
+         Buffer.add_string b (Printf.sprintf "measure %d %d" q cb)
+       | Gate.Reset q -> Buffer.add_string b (Printf.sprintf "reset %d" q)
+       | Gate.If_x (cb, q) ->
+         Buffer.add_string b (Printf.sprintf "if_x %d %d" cb q)
+       | Gate.Barrier qs ->
+         Buffer.add_string b
+           ("barrier " ^ String.concat " " (List.map string_of_int qs)));
+      Buffer.add_char b '\n')
+    c.gates
+
+let digest c =
+  let b = Buffer.create (64 + (16 * Array.length c.gates)) in
+  canon_buf b c;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 module Builder = struct
   type circuit = t
   type nonrec t = {

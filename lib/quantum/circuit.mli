@@ -60,6 +60,16 @@ val measure_all : t -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** Canonical content digest (hex): a hash of the widths and the ordered
+    gate kinds — the same information the canonical QASM-3 emission
+    carries — with rotation angles taken bit-exact. Equal iff the
+    circuits have equal [num_qubits], [num_clbits] and gate-kind
+    sequences; invariant under the gate list's physical representation
+    (gate ids, array identity, builder vs. [of_kinds] construction,
+    QASM-3 round-trip). The compilation service uses it as the
+    circuit-identity third of its cache key. *)
+val digest : t -> string
+
 module Builder : sig
   type circuit := t
   type t

@@ -1,0 +1,158 @@
+(* Two cache tiers behind one mutex. The memory tier is a Hashtbl with
+   a logical clock for LRU (eviction scans for the minimum stamp — O(n)
+   per eviction, which is noise at the few-hundred-entry capacities the
+   server runs). The disk tier is one file per key, written with the
+   same temp+rename discipline as Fuzz.Corpus so a crash mid-write can
+   never corrupt a later read. *)
+
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  lock : Mutex.t;
+  mem : (string, entry) Hashtbl.t;
+  capacity : int;
+  dir : string option;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable disk_hits : int;
+  mutable evictions : int;
+}
+
+let create ?(mem_capacity = 256) ?dir () =
+  {
+    lock = Mutex.create ();
+    mem = Hashtbl.create 64;
+    capacity = max 0 mem_capacity;
+    dir;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    disk_hits = 0;
+    evictions = 0;
+  }
+
+let key ~op ~digest ~fingerprint =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ Caqr.Version.engine; op; digest; fingerprint ]))
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* ---- disk tier ---- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let entry_file key = key ^ ".cache"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Crash-safe: content lands in a dot-prefixed temp file first, then one
+   atomic rename. Readers only ever open the final name, so a leftover
+   temp (killed mid-write) is invisible. *)
+let write_atomic ~dir ~file content =
+  let tmp = Filename.concat dir ("." ^ file ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp (Filename.concat dir file)
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let path = Filename.concat dir (entry_file key) in
+    if Sys.file_exists path then
+      match read_file path with
+      | v -> Some v
+      | exception Sys_error _ -> None
+    else None
+
+let disk_store t key value =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    mkdir_p dir;
+    write_atomic ~dir ~file:(entry_file key) value
+
+(* ---- memory tier ---- *)
+
+let evict_past_capacity t =
+  while Hashtbl.length t.mem > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (k, e.stamp))
+        t.mem None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.mem k;
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.incr "serve.cache.evict"
+    | None -> ()
+  done
+
+let mem_insert t key value =
+  if t.capacity > 0 then begin
+    Hashtbl.replace t.mem key { value; stamp = tick t };
+    evict_past_capacity t
+  end
+
+let locked t f = Mutex.protect t.lock f
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.mem key with
+  | Some e ->
+    e.stamp <- tick t;
+    t.hits <- t.hits + 1;
+    Obs.Metrics.incr "serve.cache.hit";
+    Some e.value
+  | None ->
+    (match disk_find t key with
+     | Some v ->
+       (* Promote: the disk tier survives restarts, the memory tier
+          serves the hot set. *)
+       mem_insert t key v;
+       t.hits <- t.hits + 1;
+       t.disk_hits <- t.disk_hits + 1;
+       Obs.Metrics.incr "serve.cache.hit";
+       Obs.Metrics.incr "serve.cache.disk.hit";
+       Some v
+     | None ->
+       t.misses <- t.misses + 1;
+       Obs.Metrics.incr "serve.cache.miss";
+       None)
+
+let store t key value =
+  locked t @@ fun () ->
+  mem_insert t key value;
+  disk_store t key value
+
+let stats t =
+  locked t @@ fun () ->
+  [
+    ("hits", t.hits);
+    ("misses", t.misses);
+    ("disk_hits", t.disk_hits);
+    ("evictions", t.evictions);
+    ("mem_entries", Hashtbl.length t.mem);
+  ]

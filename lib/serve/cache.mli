@@ -1,0 +1,46 @@
+(** Content-addressed compilation cache: an in-memory LRU tier over an
+    optional on-disk tier.
+
+    Keys are {!key} digests of (engine version, op, canonical circuit
+    digest, options fingerprint) — see {!Quantum.Circuit.digest} and
+    {!Caqr.Pipeline.options_fingerprint}. Folding
+    {!Caqr.Version.engine} into the key means entries written by an
+    older build are never served: their keys simply no longer match.
+
+    Values are opaque strings (the service stores the serialized
+    [result] object), so a hit replays a response byte-identically.
+
+    The disk tier reuses the crash-safe discipline of [Fuzz.Corpus]:
+    every entry lands via write-to-temp + atomic [Sys.rename] in the
+    cache directory, so an interrupted write leaves at worst an ignored
+    [.*.tmp] file, never a truncated entry. Lookups only ever open the
+    final name.
+
+    All operations are domain-safe (one mutex), so batched requests may
+    probe and fill the cache from pool workers. Counters land in
+    {!Obs.Metrics}: ["serve.cache.hit"], ["serve.cache.miss"],
+    ["serve.cache.disk.hit"], ["serve.cache.evict"]. *)
+
+type t
+
+(** [create ?mem_capacity ?dir ()] — an LRU of at most [mem_capacity]
+    entries (default 256; 0 disables the memory tier) over an optional
+    disk tier rooted at [dir] (created on first store). *)
+val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+
+(** [key ~op ~digest ~fingerprint] — the content address, an MD5 hex of
+    the four identity components (engine version included). *)
+val key : op:string -> digest:string -> fingerprint:string -> string
+
+(** Memory tier first (refreshing recency), then disk (promoting the
+    entry into memory). *)
+val find : t -> string -> string option
+
+(** Insert into both tiers, evicting the least-recently-used in-memory
+    entry past capacity. Storing an existing key overwrites. *)
+val store : t -> string -> string -> unit
+
+(** Lifetime counters of this cache value, for the [stats] verb:
+    [hits], [misses], [disk_hits] (subset of hits), [evictions], and
+    the current [mem_entries]. *)
+val stats : t -> (string * int) list

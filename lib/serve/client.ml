@@ -1,0 +1,53 @@
+let call ~socket lines =
+  let n = List.length lines in
+  if n = 0 then []
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let payload = String.concat "\n" lines ^ "\n" in
+        let len = String.length payload in
+        let written = ref 0 in
+        while !written < len do
+          written :=
+            !written + Unix.write_substring fd payload !written (len - !written)
+        done;
+        (* Read until n newline-terminated responses (or EOF, which is a
+           protocol violation the caller should see). *)
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let newlines () =
+          let s = Buffer.contents buf in
+          let c = ref 0 in
+          String.iter (fun ch -> if ch = '\n' then incr c) s;
+          !c
+        in
+        let rec fill () =
+          if newlines () < n then
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              failwith
+                (Printf.sprintf
+                   "Serve.Client: connection closed after %d of %d responses"
+                   (newlines ()) n)
+            | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              fill ()
+        in
+        fill ();
+        let all = String.split_on_char '\n' (Buffer.contents buf) in
+        List.filteri (fun i _ -> i < n) all)
+  end
+
+let call_retry ~socket ?(attempts = 40) ?(delay_s = 0.05) lines =
+  let rec go k =
+    match call ~socket lines with
+    | r -> r
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when k > 1 ->
+      Unix.sleepf delay_s;
+      go (k - 1)
+  in
+  go (max 1 attempts)

@@ -1,0 +1,290 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+
+(* ---- emitter ---- *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+    (* JSON has no inf/nan literals; clamp to null rather than emit an
+       unparseable token. %.12g round-trips every value we serve
+       (timings, rates) and never prints a bare trailing dot. *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
+    else Buffer.add_string b "null"
+  | String s -> add_escaped b s
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        add_escaped b k;
+        Buffer.add_char b ':';
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+  | Raw s -> Buffer.add_string b s
+
+let to_string j =
+  let b = Buffer.create 256 in
+  emit b j;
+  Buffer.contents b
+
+(* ---- parser: plain recursive descent over the input string ---- *)
+
+exception Bad of string * int (* message, byte offset *)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> bad (Printf.sprintf "expected %C" c)
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else bad ("expected " ^ word)
+  in
+  (* UTF-8-encode one code point (the \uXXXX escapes, surrogate pairs
+     already combined). *)
+  let add_utf8 b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then bad "truncated \\u escape";
+    let v =
+      try int_of_string ("0x" ^ String.sub s !pos 4)
+      with Failure _ -> bad "bad \\u escape"
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then bad "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then bad "unterminated escape";
+        let c = s.[!pos] in
+        advance ();
+        (match c with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           let cp = hex4 () in
+           let cp =
+             (* high surrogate: fold the mandatory low half in *)
+             if cp >= 0xD800 && cp <= 0xDBFF then begin
+               if
+                 !pos + 2 <= n
+                 && s.[!pos] = '\\'
+                 && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if lo < 0xDC00 || lo > 0xDFFF then bad "bad surrogate pair";
+                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+               end
+               else bad "lone high surrogate"
+             end
+             else if cp >= 0xDC00 && cp <= 0xDFFF then bad "lone low surrogate"
+             else cp
+           in
+           add_utf8 b cp
+         | _ -> bad "bad escape");
+        go ()
+      | c when Char.code c < 0x20 -> bad "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = d0 then bad "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> bad "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> bad "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> bad (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (msg, off) ->
+    Error (Printf.sprintf "%s at offset %d" msg off)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let string_field k j =
+  match member k j with Some (String s) -> Some s | _ -> None
+
+let int_field k j = match member k j with Some (Int n) -> Some n | _ -> None
+
+let bool_field k j =
+  match member k j with Some (Bool b) -> Some b | _ -> None

@@ -1,0 +1,38 @@
+(** Minimal JSON for the service protocol — hand-rolled so the library
+    stays dependency-free, like {!Obs.Metrics.to_json}.
+
+    The emitter writes object fields in the order given (the protocol
+    relies on that for byte-stable responses); the parser accepts any
+    well-formed JSON text and preserves object field order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** emitted verbatim — lets a pre-serialized fragment (a cached
+          result, a {!Obs.Metrics.to_json} snapshot) embed without a
+          re-parse. Never produced by {!parse}; the caller must pass
+          valid JSON. *)
+
+(** [parse s] reads one JSON value and rejects trailing garbage. The
+    error message carries the byte offset of the failure. *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [member k j] is the value of field [k] when [j] is an object that
+    has it. *)
+val member : string -> t -> t option
+
+(** Typed field accessors: [None] when the field is absent or the wrong
+    shape. [int_field] accepts only [Int]; [string_field] only
+    [String]; [bool_field] only [Bool]. *)
+val string_field : string -> t -> string option
+
+val int_field : string -> t -> int option
+val bool_field : string -> t -> bool option

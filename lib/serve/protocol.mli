@@ -1,0 +1,63 @@
+(** The service wire protocol: one JSON object per line, one response
+    line per request, over a Unix-domain socket.
+
+    Request shape (fields beyond [op] are optional unless noted):
+
+    {v
+    {"op":"compile"|"verify"|"simulate"|"stats"|"shutdown",
+     "id": <any JSON, echoed back>,
+     "bench": "<benchmark name>",      -- XOR bench registry, or
+     "qasm3": "<OpenQASM 3 source>",   -- an inline circuit
+     "strategy": "sr"|"baseline"|"qs-max-reuse"|"qs-min-depth"
+                |"qs-best-fidelity"|<int qubit budget>,
+     "deadline_ms": <int>,             -- per-request budget
+     "qasm": true,                     -- include compiled QASM-3
+     "level": "<verify level>",        -- verify only (default auto)
+     "shots": <int>, "seed": <int>,    -- simulate only
+     "fallback": true,                 -- degradation ladder
+     "no_cache": true}                 -- bypass the cache
+    v}
+
+    Responses are [{"id":..,"ok":true,"op":..,"cache":"hit"|"miss"|"none",
+    "result":{..}}] or [{"id":..,"ok":false,"error":{"stage":..,"site":..,
+    "detail":..,"recoverable":..}}]. The [result] object is the cached
+    unit: a cache hit replays it byte-identically. *)
+
+type op = Compile | Verify | Simulate | Stats | Shutdown
+
+val op_name : op -> string
+
+type request = {
+  op : op;
+  id : Json.t;  (** echoed back verbatim; [Null] when absent *)
+  bench : string option;
+  qasm3 : string option;
+  strategy : Caqr.Pipeline.strategy;  (** default [Sr] *)
+  deadline_ms : int option;
+  emit_qasm : bool;
+  level : Verify.level;  (** default [Auto] *)
+  shots : int;  (** default 1024 *)
+  seed : int;  (** default 1 *)
+  fallback : bool;
+  no_cache : bool;
+}
+
+(** Parses ["baseline" | "qs-max-reuse" | "qs-min-depth" |
+    "qs-best-fidelity" | "sr" | "<int>"] — the CLI's strategy
+    grammar. *)
+val strategy_of_string :
+  string -> (Caqr.Pipeline.strategy, string) result
+
+(** [of_line line] parses one request line. Unknown [op]s, malformed
+    JSON and wrong-typed fields are reported with the offending token;
+    unknown fields are ignored (forward compatibility). *)
+val of_line : string -> (request, string) result
+
+(** [error_body e] is the [error] object of a failure response. *)
+val error_body : Guard.Error.t -> Json.t
+
+(** [response ~id fields] / [error_response ~id e] assemble one response
+    line (no trailing newline). *)
+val response : id:Json.t -> (string * Json.t) list -> string
+
+val error_response : id:Json.t -> Guard.Error.t -> string

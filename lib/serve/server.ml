@@ -1,0 +1,431 @@
+type config = {
+  socket : string;
+  jobs : int;
+  mem_capacity : int;
+  cache_dir : string option;
+  default_deadline_ms : int option;
+  max_deadline_ms : int option;
+  max_batch : int;
+  max_request_bytes : int;
+}
+
+let default_config =
+  {
+    socket = "caqr.sock";
+    jobs = 1;
+    mem_capacity = 256;
+    cache_dir = None;
+    default_deadline_ms = None;
+    max_deadline_ms = None;
+    max_batch = 64;
+    max_request_bytes = 10_000_000;
+  }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  requests : int Atomic.t;
+  started : float;
+}
+
+let create config =
+  {
+    config =
+      {
+        config with
+        jobs = max 1 config.jobs;
+        max_batch = max 1 config.max_batch;
+        max_request_bytes = max 1024 config.max_request_bytes;
+      };
+    cache = Cache.create ~mem_capacity:config.mem_capacity ?dir:config.cache_dir ();
+    requests = Atomic.make 0;
+    started = Unix.gettimeofday ();
+  }
+
+let cache t = t.cache
+
+let usage_error ~site fmt =
+  Printf.ksprintf
+    (fun detail -> Guard.Error.v ~stage:"serve.request" ~site detail)
+    fmt
+
+(* ---- input resolution ---- *)
+
+(* A request names its circuit either by benchmark-registry name or as
+   inline QASM-3. Returns the display name, the pipeline input, the
+   circuit whose width picks the device, and the canonical digest that
+   keys the cache. *)
+let resolve_input (req : Protocol.request) =
+  match (req.bench, req.qasm3) with
+  | Some _, Some _ ->
+    Error (usage_error ~site:"request.input" "give \"bench\" or \"qasm3\", not both")
+  | None, None ->
+    Error (usage_error ~site:"request.input" "missing \"bench\" or \"qasm3\"")
+  | Some name, None ->
+    (match Benchmarks.Suite.find name with
+     | e ->
+       let input =
+         match e.Benchmarks.Suite.kind with
+         | Benchmarks.Suite.Regular ->
+           Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+         | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+       in
+       (* A commutable entry and a hypothetical regular entry with the
+          same emitted circuit are different compile problems — tag the
+          digest with the input kind. *)
+       let tag =
+         match e.Benchmarks.Suite.kind with
+         | Benchmarks.Suite.Regular -> "regular:"
+         | Benchmarks.Suite.Commutable _ -> "commutable:"
+       in
+       Ok
+         ( name,
+           input,
+           e.Benchmarks.Suite.circuit,
+           tag ^ Quantum.Circuit.digest e.Benchmarks.Suite.circuit )
+     | exception Not_found ->
+       Error (usage_error ~site:"request.input" "unknown benchmark %S" name))
+  | None, Some src ->
+    (match Quantum.Qasm_parser.parse src with
+     | Ok c ->
+       Ok ("qasm3", Caqr.Pipeline.Regular c, c, "regular:" ^ Quantum.Circuit.digest c)
+     | Error e -> Error e)
+
+(* ---- per-request options, fingerprint, deadline ---- *)
+
+let options_of (req : Protocol.request) =
+  {
+    Caqr.Pipeline.default with
+    Caqr.Pipeline.verify =
+      (match req.op with Protocol.Verify -> Some req.level | _ -> None);
+    seed = req.seed;
+    fallback = req.fallback;
+    (* Batch-level parallelism owns the domains; inner compiles stay
+       sequential, exactly like Pipeline.compile_all. *)
+    jobs = 1;
+  }
+
+let fingerprint options (req : Protocol.request) =
+  Caqr.Pipeline.options_fingerprint options
+  ^ Printf.sprintf ";strategy=%s;qasm=%b"
+      (Caqr.Pipeline.strategy_name req.strategy)
+      req.emit_qasm
+  ^
+  match req.op with
+  | Protocol.Simulate -> Printf.sprintf ";shots=%d;sim_seed=%d" req.shots req.seed
+  | _ -> ""
+
+(* Admission control half two: the request's deadline is clamped to the
+   server's cap; requests without one get the server default. *)
+let effective_deadline t (req : Protocol.request) =
+  let requested =
+    match req.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_ms
+  in
+  match (requested, t.config.max_deadline_ms) with
+  | Some d, Some cap -> Some (min d cap)
+  | None, Some cap -> Some cap
+  | d, None -> d
+
+(* ---- result bodies ---- *)
+
+let result_of_report ~name ~emit_qasm (r : Caqr.Pipeline.report) =
+  let s = r.Caqr.Pipeline.stats in
+  let base =
+    [
+      ("benchmark", Json.String name);
+      ( "strategy",
+        Json.String (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy) );
+      ("qubits", Json.Int s.Transpiler.Transpile.qubits_used);
+      ("depth", Json.Int s.Transpiler.Transpile.depth);
+      ("duration_dt", Json.Int s.Transpiler.Transpile.duration_dt);
+      ("swaps", Json.Int s.Transpiler.Transpile.swaps);
+      ("two_q", Json.Int s.Transpiler.Transpile.two_q);
+      ("gate_count", Json.Int s.Transpiler.Transpile.gate_count);
+      ("reuse_pairs", Json.Int r.Caqr.Pipeline.reuse_pairs);
+    ]
+  in
+  let degraded =
+    match r.Caqr.Pipeline.degraded with
+    | [] -> []
+    | ds ->
+      [
+        ( "degraded",
+          Json.List
+            (List.map
+               (fun (d : Caqr.Pipeline.degraded) ->
+                 Json.Obj
+                   [
+                     ( "from",
+                       Json.String
+                         (Caqr.Pipeline.strategy_name
+                            d.Caqr.Pipeline.from_strategy) );
+                     ( "error",
+                       Json.String
+                         (Guard.Error.to_string d.Caqr.Pipeline.error) );
+                   ])
+               ds) );
+      ]
+  in
+  let verdict =
+    match r.Caqr.Pipeline.verification with
+    | None -> []
+    | Some v -> [ ("verdict", Json.String (Verify.Verdict.to_string v)) ]
+  in
+  let qasm =
+    if emit_qasm then
+      [
+        ( "qasm3",
+          Json.String
+            (Quantum.Qasm.to_string
+               (fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.physical)))
+        );
+      ]
+    else []
+  in
+  Json.Obj (base @ degraded @ verdict @ qasm)
+
+(* Compute one compile/verify/simulate result. Runs under the request's
+   scoped budget; the caller wraps with Guard.Error.protect. Returns the
+   result object and whether it may be cached (degraded reports are
+   deadline-dependent, so they are not). *)
+let compute ~name ~input ~circuit:_ (req : Protocol.request) options device =
+  let r = Caqr.Pipeline.compile ~options device req.strategy input in
+  let body = result_of_report ~name ~emit_qasm:req.emit_qasm r in
+  let body =
+    match req.op with
+    | Protocol.Simulate ->
+      let counts =
+        Sim.Executor.run ~jobs:1 ~seed:req.seed ~shots:req.shots
+          r.Caqr.Pipeline.physical
+      in
+      let outcomes =
+        List.map
+          (fun (outcome, count) ->
+            Json.List [ Json.Int outcome; Json.Int count ])
+          (Sim.Counts.to_list counts)
+      in
+      (match body with
+       | Json.Obj fields ->
+         Json.Obj
+           (fields
+           @ [
+               ("shots", Json.Int req.shots);
+               ("sim_seed", Json.Int req.seed);
+               ("counts", Json.List outcomes);
+             ])
+       | j -> j)
+    | _ -> body
+  in
+  (body, r.Caqr.Pipeline.degraded = [])
+
+let ok_fields (req : Protocol.request) ~cache_state ~key ~result =
+  [
+    ("ok", Json.Bool true);
+    ("op", Json.String (Protocol.op_name req.op));
+    ("cache", Json.String cache_state);
+    ("key", Json.String key);
+    ("result", Json.Raw result);
+  ]
+
+let handle_work t (req : Protocol.request) =
+  match resolve_input req with
+  | Error e -> Protocol.error_response ~id:req.id e
+  | Ok (name, input, circuit, digest) ->
+    let options = options_of req in
+    let key =
+      Cache.key ~op:(Protocol.op_name req.op) ~digest
+        ~fingerprint:(fingerprint options req)
+    in
+    let cached = if req.no_cache then None else Cache.find t.cache key in
+    (match cached with
+     | Some result ->
+       Protocol.response ~id:req.id
+         (ok_fields req ~cache_state:"hit" ~key ~result)
+     | None ->
+       let device =
+         Hardware.Device.heavy_hex_for circuit.Quantum.Circuit.num_qubits
+       in
+       let deadline_ms = effective_deadline t req in
+       (match
+          Guard.Error.protect ~stage:"serve.request" (fun () ->
+              (* The scoped budget covers compile, verification and
+                 simulation; Exec.Pool re-installs it in any domain this
+                 request fans out to. *)
+              Guard.Budget.scoped (Guard.Budget.make ?ms:deadline_ms ())
+                (fun () -> compute ~name ~input ~circuit req options device))
+        with
+        | Ok (body, cacheable) ->
+          let result = Json.to_string body in
+          if cacheable && not req.no_cache then Cache.store t.cache key result;
+          let state = if req.no_cache then "none" else "miss" in
+          Protocol.response ~id:req.id
+            (ok_fields req ~cache_state:state ~key ~result)
+        | Error e ->
+          Obs.Metrics.incr "serve.errors";
+          Protocol.error_response ~id:req.id e))
+
+let stats_response t (req : Protocol.request) =
+  let result =
+    Json.Obj
+      [
+        ("engine", Json.String Caqr.Version.engine);
+        ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+        ("requests", Json.Int (Atomic.get t.requests));
+        ( "cache",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.Int v)) (Cache.stats t.cache)) );
+        ("metrics", Json.Raw (Obs.Metrics.to_json (Obs.Metrics.snapshot ())));
+      ]
+  in
+  Protocol.response ~id:req.id
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "stats");
+      ("result", Json.Raw (Json.to_string result));
+    ]
+
+let handle_line t line =
+  Obs.Metrics.incr "serve.requests";
+  Atomic.incr t.requests;
+  if String.length line > t.config.max_request_bytes then
+    ( Protocol.error_response ~id:Json.Null
+        (Guard.Error.v ~stage:"serve.admission" ~site:"request.size"
+           (Printf.sprintf "request line exceeds %d bytes"
+              t.config.max_request_bytes)),
+      false )
+  else
+    match Protocol.of_line line with
+    | Error msg ->
+      ( Protocol.error_response ~id:Json.Null
+          (Guard.Error.v ~stage:"serve.protocol" ~site:"request.parse" msg),
+        false )
+    | Ok req ->
+      Obs.Metrics.incr ("serve.op." ^ Protocol.op_name req.op);
+      (match req.op with
+       | Protocol.Shutdown ->
+         ( Protocol.response ~id:req.id
+             [
+               ("ok", Json.Bool true);
+               ("op", Json.String "shutdown");
+               ("result", Json.Obj [ ("stopping", Json.Bool true) ]);
+             ],
+           true )
+       | Protocol.Stats -> (stats_response t req, false)
+       | Protocol.Compile | Protocol.Verify | Protocol.Simulate ->
+         (handle_work t req, false))
+
+(* handle_line never raises and touches only domain-safe state (cache
+   mutex, atomics, metrics), so a pipelined batch fans out as-is. *)
+let handle_batch t lines =
+  let n = List.length lines in
+  if n = 0 then ([], false)
+  else begin
+    Obs.Metrics.incr "serve.batches";
+    if n > 1 then Obs.Metrics.incr ~by:n "serve.batched.requests";
+    let results =
+      if n = 1 then List.map (handle_line t) lines
+      else Exec.Pool.map ~jobs:t.config.jobs (handle_line t) lines
+    in
+    (List.map fst results, List.exists snd results)
+  end
+
+(* ---- the socket loop ---- *)
+
+(* One connection: a buffered line reader that batches. The first read
+   blocks; everything already queued behind it drains without blocking,
+   and that pipelined run — capped at max_batch — is the batch handed to
+   the pool. *)
+let serve_conn t stop fd =
+  let chunk_size = 65536 in
+  let chunk = Bytes.create chunk_size in
+  let pending = Buffer.create 4096 in
+  let queue = Queue.create () in
+  let eof = ref false in
+  (* Move complete lines out of [pending] into [queue]. *)
+  let split_pending () =
+    let s = Buffer.contents pending in
+    match String.rindex_opt s '\n' with
+    | None -> ()
+    | Some last ->
+      String.split_on_char '\n' (String.sub s 0 last)
+      |> List.iter (fun l -> Queue.add l queue);
+      Buffer.clear pending;
+      Buffer.add_string pending
+        (String.sub s (last + 1) (String.length s - last - 1))
+  in
+  let read_once () =
+    match Unix.read fd chunk 0 chunk_size with
+    | 0 -> eof := true
+    | n -> Buffer.add_subbytes pending chunk 0 n
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      eof := true
+  in
+  let readable_now () =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [ _ ], _, _ -> true
+    | _ -> false
+  in
+  let rec fill () =
+    if Queue.is_empty queue && not !eof then begin
+      read_once ();
+      split_pending ();
+      fill ()
+    end
+    else if (not !eof) && readable_now () then begin
+      (* Drain what the client already pipelined — this is the batch. *)
+      read_once ();
+      split_pending ();
+      if (not !eof) && readable_now () then fill ()
+    end
+  in
+  let take_batch () =
+    fill ();
+    let rec take acc k =
+      if k = 0 || Queue.is_empty queue then List.rev acc
+      else take (Queue.pop queue :: acc) (k - 1)
+    in
+    take [] t.config.max_batch
+  in
+  let send lines =
+    let payload = String.concat "\n" lines ^ "\n" in
+    let len = String.length payload in
+    let written = ref 0 in
+    (try
+       while !written < len do
+         written :=
+           !written + Unix.write_substring fd payload !written (len - !written)
+       done
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> eof := true)
+  in
+  let rec loop () =
+    match take_batch () with
+    | [] -> ()
+    | batch ->
+      let responses, stop' = handle_batch t batch in
+      send responses;
+      if stop' then stop := true else loop ()
+  in
+  loop ()
+
+let run t =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Replace a stale socket file from a previous run; a live server on
+     the same path loses it, which is the standard Unix-socket bargain. *)
+  (try Unix.unlink t.config.socket with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX t.config.socket);
+  Unix.listen sock 64;
+  let stop = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink t.config.socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not !stop do
+        let client, _ = Unix.accept sock in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () -> serve_conn t stop client)
+      done)

@@ -1,0 +1,67 @@
+(** The compilation service: a long-lived daemon answering
+    newline-delimited JSON requests (see {!Protocol}) over a Unix-domain
+    socket, batching pipelined requests onto {!Exec.Pool} and answering
+    repeats from the content-addressed {!Cache}.
+
+    Design invariants:
+
+    - {b Re-entrant}: every request compiles with its own
+      [Pipeline.options]; nothing request-scoped touches process
+      globals. Per-request deadlines are scoped {!Guard.Budget} values,
+      so two requests running on different pool domains cannot clobber
+      each other's budget.
+    - {b Isolated failure}: request handling is wrapped in
+      {!Guard.Error.protect}; a failing request (including a
+      [Budget_exceeded] deadline trip) produces one structured error
+      response and the daemon keeps serving.
+    - {b Deterministic responses}: the [result] object of a [compile] /
+      [verify] / [simulate] response is a pure function of (circuit
+      digest, options fingerprint, engine version) — exactly the cache
+      key — so a cache hit is byte-identical to the cold computation.
+      Reports that only exist by grace of the degradation ladder
+      ([degraded] non-empty) are never cached.
+    - {b Admission control}: oversized request lines are rejected with a
+      structured error before parsing; per-request deadlines are capped
+      by [max_deadline_ms]; one dispatch batches at most [max_batch]
+      requests. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  jobs : int;  (** pool domains for batch dispatch *)
+  mem_capacity : int;  (** in-memory cache entries (LRU) *)
+  cache_dir : string option;  (** on-disk cache tier root *)
+  default_deadline_ms : int option;
+      (** budget for requests that carry none *)
+  max_deadline_ms : int option;
+      (** admission cap: requested deadlines are clamped to this *)
+  max_batch : int;  (** most requests dispatched in one pool batch *)
+  max_request_bytes : int;  (** admission cap on one request line *)
+}
+
+(** [socket = "caqr.sock"], [jobs = 1], [mem_capacity = 256], no disk
+    tier, no deadlines, [max_batch = 64],
+    [max_request_bytes = 10_000_000]. *)
+val default_config : config
+
+type t
+
+val create : config -> t
+
+(** The server's cache, exposed for the [stats] verb and tests. *)
+val cache : t -> Cache.t
+
+(** [handle_line t line] maps one request line to one response line
+    (no trailing newline) and whether the daemon should stop — the
+    socket-free core, also the unit-test surface. Never raises. *)
+val handle_line : t -> string -> string * bool
+
+(** [handle_batch t lines] handles a batch of pipelined request lines,
+    fanning them over [config.jobs] pool domains. Responses come back
+    in request order; the stop flag is the disjunction. *)
+val handle_batch : t -> string list -> string list * bool
+
+(** [run t] binds the socket (replacing a stale socket file), serves
+    connections sequentially — batching whatever pipelined lines each
+    read delivers — and returns after a [shutdown] request, removing
+    the socket file. *)
+val run : t -> unit

@@ -112,6 +112,77 @@ let test_deadline_restored () =
    with Guard.Error.Budget_exceeded _ -> ());
   check bool "disarmed after" false (Guard.Budget.has_deadline ())
 
+(* ---- Guard.Budget: scoped (domain-local) budgets ---- *)
+
+(* A budget that has deterministically expired: checkpoints compare with
+   strict [>], so let the clock tick past the 0 ms deadline. *)
+let expired_budget () =
+  let b = Guard.Budget.make ~ms:0 () in
+  Unix.sleepf 0.002;
+  b
+
+let test_scoped_trips_and_restores () =
+  check bool "disarmed before" false (Guard.Budget.has_deadline ());
+  let e =
+    expect_budget_trip "expired scoped budget" (fun () ->
+        Guard.Budget.scoped (expired_budget ()) (fun () ->
+            check bool "armed inside" true (Guard.Budget.has_deadline ());
+            Guard.Budget.checkpoint ~stage:"t" ~site:"scoped.site"))
+  in
+  check string "site" "scoped.site" e.Guard.Error.site;
+  check bool "disarmed after, exception path included" false
+    (Guard.Budget.has_deadline ())
+
+let test_scoped_unlimited_noop () =
+  Guard.Budget.scoped Guard.Budget.unlimited (fun () ->
+      check bool "unlimited arms nothing" false (Guard.Budget.has_deadline ());
+      Guard.Budget.checkpoint ~stage:"t" ~site:"s")
+
+let test_scoped_nesting_tightens () =
+  (* An inner scope can only tighten: installing [unlimited] inside an
+     expired budget must not lift the outer deadline. *)
+  ignore
+    (expect_budget_trip "inner unlimited keeps outer deadline" (fun () ->
+         Guard.Budget.scoped (expired_budget ()) (fun () ->
+             Guard.Budget.scoped Guard.Budget.unlimited (fun () ->
+                 Guard.Budget.checkpoint ~stage:"t" ~site:"nested"))))
+
+let test_scoped_domain_isolation () =
+  (* The whole point of scoped budgets: another domain (another request,
+     in the service) never sees this domain's deadline. *)
+  Guard.Budget.scoped (Guard.Budget.make ~ms:0 ()) (fun () ->
+      check bool "armed in this domain" true (Guard.Budget.has_deadline ());
+      let other = Domain.spawn (fun () -> Guard.Budget.has_deadline ()) in
+      check bool "other domain unaffected" false (Domain.join other))
+
+let test_scoped_current_carries () =
+  (* current () captures the effective deadline as a value that can be
+     re-installed in a different domain — the Exec.Pool handoff. *)
+  Guard.Budget.scoped (expired_budget ()) (fun () ->
+      let b = Guard.Budget.current () in
+      let tripped =
+        Domain.spawn (fun () ->
+            Guard.Budget.scoped b (fun () ->
+                match Guard.Budget.checkpoint ~stage:"t" ~site:"carried" with
+                | () -> false
+                | exception Guard.Error.Budget_exceeded _ -> true))
+      in
+      check bool "captured budget trips in another domain" true
+        (Domain.join tripped))
+
+let test_scoped_pool_propagation () =
+  let e =
+    expect_budget_trip "pool workers inherit the caller's scope" (fun () ->
+        Guard.Budget.scoped (expired_budget ()) (fun () ->
+            Exec.Pool.map ~jobs:2
+              (fun i ->
+                Guard.Budget.checkpoint ~stage:"t" ~site:"pool.worker";
+                i)
+              [ 1; 2; 3 ]))
+  in
+  (* The pool names the first failing task in submission order. *)
+  check bool "failure names task 0" true (contains e.Guard.Error.detail "task 0:")
+
 (* ---- Sim.State cap ---- *)
 
 let test_sim_qubit_cap () =
@@ -309,6 +380,21 @@ let () =
             test_deadline_trips_sim;
           Alcotest.test_case "deadline restored" `Quick test_deadline_restored;
           Alcotest.test_case "sim qubit cap" `Quick test_sim_qubit_cap;
+        ] );
+      ( "scoped-budget",
+        [
+          Alcotest.test_case "trips and restores" `Quick
+            test_scoped_trips_and_restores;
+          Alcotest.test_case "unlimited is a no-op" `Quick
+            test_scoped_unlimited_noop;
+          Alcotest.test_case "nesting tightens" `Quick
+            test_scoped_nesting_tightens;
+          Alcotest.test_case "domain isolation" `Quick
+            test_scoped_domain_isolation;
+          Alcotest.test_case "current carries across domains" `Quick
+            test_scoped_current_carries;
+          Alcotest.test_case "pool propagation" `Quick
+            test_scoped_pool_propagation;
         ] );
       ( "inject",
         [

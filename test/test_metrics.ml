@@ -88,6 +88,27 @@ let test_to_json () =
   check bool "counter value" true (has "\"t.j\":3");
   check bool "timer key" true (has "\"time.j\"")
 
+let test_to_json_stable_order () =
+  (* The service embeds this rendering verbatim in responses, so it must
+     be byte-stable: keys sorted, fixed layout. Assert the exact
+     string, not just key presence. *)
+  M.reset ();
+  M.incr ~by:2 "t.zz";
+  M.incr "t.aa";
+  M.add_time "time.x" 0.5;
+  check Alcotest.string "exact serialized form"
+    {|{"counters":{"t.aa":1,"t.zz":2},"timings_s":{"time.x":0.500000}}|}
+    (M.to_json (M.snapshot ()));
+  (* Insertion order must not leak: bumping in the other order renders
+     the same bytes. *)
+  M.reset ();
+  M.add_time "time.x" 0.5;
+  M.incr ~by:2 "t.zz";
+  M.incr "t.aa";
+  check Alcotest.string "independent of insertion order"
+    {|{"counters":{"t.aa":1,"t.zz":2},"timings_s":{"time.x":0.500000}}|}
+    (M.to_json (M.snapshot ()))
+
 let () =
   Alcotest.run "metrics"
     [
@@ -107,5 +128,7 @@ let () =
           Alcotest.test_case "isolation" `Quick test_snapshot_isolation;
           Alcotest.test_case "sorted" `Quick test_snapshot_sorted;
           Alcotest.test_case "json" `Quick test_to_json;
+          Alcotest.test_case "json stable order" `Quick
+            test_to_json_stable_order;
         ] );
     ]

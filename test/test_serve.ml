@@ -1,0 +1,599 @@
+(* The compilation service: JSON wire format, canonical circuit digests,
+   option fingerprints, the two-tier content-addressed cache, the
+   socket-free request handler, and one end-to-end exchange over a real
+   Unix-domain socket. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The [result] object is the cached unit; everything after its key is
+   the byte-identity surface a cache hit must replay. *)
+let result_part line =
+  match find_sub line "\"result\":" with
+  | Some i -> String.sub line i (String.length line - i)
+  | None -> Alcotest.failf "no result object in %s" line
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun tag ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "caqr-serve-%d-%s-%d" (Unix.getpid ()) tag !counter)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+(* ---- Serve.Json ---- *)
+
+module J = Serve.Json
+
+let sample =
+  J.Obj
+    [
+      ("id", J.Int 7);
+      ("name", J.String "bv");
+      ("ok", J.Bool true);
+      ("none", J.Null);
+      ("xs", J.List [ J.Int 1; J.Float 0.5; J.String "a\"b\\c\n" ]);
+      ("nested", J.Obj [ ("z", J.Int 1); ("a", J.Int 2) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = J.to_string sample in
+  (match J.parse s with
+  | Ok j -> check bool "parse(emit) is identity" true (j = sample)
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e);
+  (* Field order is preserved verbatim, not sorted. *)
+  check bool "object order preserved" true
+    (contains s "{\"z\":1,\"a\":2}")
+
+let test_json_numbers () =
+  check bool "bare int parses as Int" true (J.parse "42" = Ok (J.Int 42));
+  check bool "negative int" true (J.parse "-7" = Ok (J.Int (-7)));
+  check bool "decimal parses as Float" true (J.parse "2.5" = Ok (J.Float 2.5));
+  check bool "exponent parses as Float" true
+    (J.parse "1e2" = Ok (J.Float 100.0));
+  check string "non-finite floats emit null" "null" (J.to_string (J.Float nan));
+  check string "infinite floats emit null" "null"
+    (J.to_string (J.Float infinity))
+
+let test_json_string_escapes () =
+  check string "emitter escapes" "\"a\\\"b\\\\c\\n\\t\""
+    (J.to_string (J.String "a\"b\\c\n\t"));
+  check bool "control chars as \\u" true
+    (J.to_string (J.String "\001") = "\"\\u0001\"");
+  check bool "\\uXXXX decodes" true
+    (J.parse "\"\\u0041\"" = Ok (J.String "A"));
+  (* A surrogate pair must decode to one UTF-8 code point. *)
+  check bool "surrogate pair decodes to UTF-8" true
+    (J.parse "\"\\ud83d\\ude00\"" = Ok (J.String "\xf0\x9f\x98\x80"))
+
+let test_json_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check bool "trailing garbage rejected" true (is_err (J.parse "1 2"));
+  check bool "unterminated string rejected" true (is_err (J.parse "\"abc"));
+  check bool "bad literal rejected" true (is_err (J.parse "nul"));
+  check bool "lone surrogate rejected" true (is_err (J.parse "\"\\ud83d\""));
+  check bool "unclosed object rejected" true (is_err (J.parse "{\"a\":1"));
+  (match J.parse "[1,2" with
+  | Error e -> check bool "error carries offset" true (contains e "offset")
+  | Ok _ -> Alcotest.fail "expected parse error")
+
+let test_json_accessors () =
+  check bool "member hit" true (J.member "id" sample = Some (J.Int 7));
+  check bool "member miss" true (J.member "zzz" sample = None);
+  check bool "string_field" true (J.string_field "name" sample = Some "bv");
+  check bool "int_field rejects strings" true (J.int_field "name" sample = None);
+  check bool "bool_field" true (J.bool_field "ok" sample = Some true)
+
+(* ---- Quantum.Circuit.digest ---- *)
+
+let bell_kinds =
+  Quantum.Gate.
+    [ One_q (H, 0); Cx (0, 1); Measure (0, 0); Measure (1, 1) ]
+
+let test_digest_invariance () =
+  let via_kinds =
+    Quantum.Circuit.of_kinds ~num_qubits:2 ~num_clbits:2 bell_kinds
+  in
+  let module B = Quantum.Circuit.Builder in
+  let b = B.create ~num_qubits:2 ~num_clbits:2 in
+  B.h b 0;
+  B.cx b 0 1;
+  B.measure b 0 0;
+  B.measure b 1 1;
+  let via_builder = B.build b in
+  check string "builder and of_kinds digest equal"
+    (Quantum.Circuit.digest via_kinds)
+    (Quantum.Circuit.digest via_builder);
+  (* Round-tripping through the QASM-3 emission must not move the
+     digest: it is an address for the circuit, not its spelling. *)
+  match Quantum.Qasm_parser.parse (Quantum.Qasm.to_string via_kinds) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e.Guard.Error.detail
+  | Ok back ->
+    check string "digest survives QASM round-trip"
+      (Quantum.Circuit.digest via_kinds)
+      (Quantum.Circuit.digest back)
+
+let test_digest_sensitivity () =
+  let mk kinds = Quantum.Circuit.of_kinds ~num_qubits:2 ~num_clbits:2 kinds in
+  let base = mk bell_kinds in
+  let swapped =
+    mk Quantum.Gate.[ Cx (0, 1); One_q (H, 0); Measure (0, 0); Measure (1, 1) ]
+  in
+  check bool "gate order matters" true
+    (Quantum.Circuit.digest base <> Quantum.Circuit.digest swapped);
+  let rz th = mk Quantum.Gate.[ One_q (Rz th, 0) ] in
+  check bool "angles are bit-exact" true
+    (Quantum.Circuit.digest (rz 0.1) <> Quantum.Circuit.digest (rz (0.1 +. 1e-12)));
+  let wide = Quantum.Circuit.of_kinds ~num_qubits:3 ~num_clbits:2 bell_kinds in
+  check bool "widths matter" true
+    (Quantum.Circuit.digest base <> Quantum.Circuit.digest wide)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_dir =
+  Filename.concat (Filename.dirname Sys.executable_name) "golden"
+
+let test_digest_golden_distinct () =
+  let files =
+    Sys.readdir golden_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".qasm")
+    |> List.sort compare
+  in
+  check bool "all golden artifacts present" true (List.length files >= 21);
+  let digests =
+    List.map
+      (fun f ->
+        match Quantum.Qasm_parser.parse (read_file (Filename.concat golden_dir f)) with
+        | Ok c -> (f, Quantum.Circuit.digest c)
+        | Error e -> Alcotest.failf "%s failed to parse: %s" f e.Guard.Error.detail)
+      files
+  in
+  (* Every (benchmark, strategy) artifact is a different circuit; their
+     content addresses must all differ or the cache would conflate
+     compiled programs. *)
+  List.iteri
+    (fun i (fi, di) ->
+      List.iteri
+        (fun j (fj, dj) ->
+          if i < j && di = dj then
+            Alcotest.failf "digest collision between %s and %s" fi fj)
+        digests)
+    digests
+
+(* ---- Caqr.Pipeline.options_fingerprint ---- *)
+
+let test_fingerprint () =
+  let fp = Caqr.Pipeline.options_fingerprint in
+  let d = Caqr.Pipeline.default in
+  check string "deterministic" (fp d) (fp d);
+  let tighter =
+    {
+      d with
+      Caqr.Pipeline.search =
+        { d.Caqr.Pipeline.search with Caqr.Qs_caqr.budget = 17 };
+    }
+  in
+  check bool "search budget is semantic" true (fp d <> fp tighter);
+  check bool "verify level is semantic" true
+    (fp d <> fp { d with Caqr.Pipeline.verify = Some Verify.Auto });
+  check bool "fallback is semantic" true
+    (fp d <> fp { d with Caqr.Pipeline.fallback = true });
+  (* Execution policy must not fragment the cache: the report is
+     byte-identical for every jobs value, and degraded (deadline-shaped)
+     reports are never cached in the first place. *)
+  check string "jobs is not semantic" (fp d)
+    (fp { d with Caqr.Pipeline.jobs = 8 });
+  check string "collect_metrics is not semantic" (fp d)
+    (fp { d with Caqr.Pipeline.collect_metrics = true });
+  check string "deadline_ms is not semantic" (fp d)
+    (fp { d with Caqr.Pipeline.deadline_ms = Some 5 })
+
+(* ---- Serve.Protocol ---- *)
+
+let test_protocol_defaults () =
+  match Serve.Protocol.of_line {|{"op":"compile","bench":"BV_10"}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+    check bool "op" true (r.Serve.Protocol.op = Serve.Protocol.Compile);
+    check bool "bench" true (r.Serve.Protocol.bench = Some "BV_10");
+    check bool "id defaults to null" true (r.Serve.Protocol.id = J.Null);
+    check bool "strategy defaults to sr" true
+      (r.Serve.Protocol.strategy = Caqr.Pipeline.Sr);
+    check int "shots default" 1024 r.Serve.Protocol.shots;
+    check bool "no deadline by default" true
+      (r.Serve.Protocol.deadline_ms = None);
+    check bool "cache on by default" true (not r.Serve.Protocol.no_cache)
+
+let test_protocol_rejects () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  let p = Serve.Protocol.of_line in
+  check bool "non-JSON rejected" true (is_err (p "hello"));
+  check bool "missing op rejected" true (is_err (p "{}"));
+  check bool "unknown op rejected" true (is_err (p {|{"op":"teleport"}|}));
+  check bool "wrong-typed field rejected" true
+    (is_err (p {|{"op":"compile","deadline_ms":"fast"}|}));
+  check bool "bad strategy rejected" true
+    (is_err (p {|{"op":"compile","strategy":"qs-fastest"}|}));
+  (* Unknown fields are ignored for forward compatibility. *)
+  check bool "unknown field tolerated" true
+    (not (is_err (p {|{"op":"stats","future_knob":1}|})));
+  check bool "int strategy is a qubit target" true
+    (match p {|{"op":"compile","bench":"BV_10","strategy":6}|} with
+    | Ok r -> r.Serve.Protocol.strategy = Caqr.Pipeline.Qs_target 6
+    | Error _ -> false)
+
+(* ---- Serve.Cache ---- *)
+
+let test_cache_key () =
+  let k = Serve.Cache.key ~op:"compile" ~digest:"d" ~fingerprint:"f" in
+  check string "key is stable" k
+    (Serve.Cache.key ~op:"compile" ~digest:"d" ~fingerprint:"f");
+  check int "key is an MD5 hex" 32 (String.length k);
+  check bool "op separates keys" true
+    (k <> Serve.Cache.key ~op:"verify" ~digest:"d" ~fingerprint:"f");
+  check bool "digest separates keys" true
+    (k <> Serve.Cache.key ~op:"compile" ~digest:"d2" ~fingerprint:"f");
+  check bool "fingerprint separates keys" true
+    (k <> Serve.Cache.key ~op:"compile" ~digest:"d" ~fingerprint:"f2");
+  (* No separator ambiguity: shifting a byte across the component
+     boundary must not produce the same key. *)
+  check bool "components are framed" true
+    (Serve.Cache.key ~op:"compilex" ~digest:"d" ~fingerprint:"f"
+    <> Serve.Cache.key ~op:"compile" ~digest:"xd" ~fingerprint:"f")
+
+let test_cache_memory_tier () =
+  let c = Serve.Cache.create ~mem_capacity:8 () in
+  check bool "empty cache misses" true (Serve.Cache.find c "k0" = None);
+  Serve.Cache.store c "k0" "v0";
+  check bool "stores then hits" true (Serve.Cache.find c "k0" = Some "v0");
+  Serve.Cache.store c "k0" "v0'";
+  check bool "store overwrites" true (Serve.Cache.find c "k0" = Some "v0'");
+  let stats = Serve.Cache.stats c in
+  check int "one miss counted" 1 (List.assoc "misses" stats);
+  check int "two hits counted" 2 (List.assoc "hits" stats)
+
+let test_cache_lru () =
+  let c = Serve.Cache.create ~mem_capacity:8 () in
+  for i = 1 to 8 do
+    Serve.Cache.store c (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i)
+  done;
+  (* Touch k1 so k2 becomes the least recently used entry. *)
+  check bool "k1 present" true (Serve.Cache.find c "k1" = Some "v1");
+  Serve.Cache.store c "k9" "v9";
+  check bool "recently-used entry survives" true
+    (Serve.Cache.find c "k1" = Some "v1");
+  check bool "LRU entry evicted" true (Serve.Cache.find c "k2" = None);
+  check int "one eviction counted" 1
+    (List.assoc "evictions" (Serve.Cache.stats c))
+
+let test_cache_lru_bound_random () =
+  let c = Serve.Cache.create ~mem_capacity:16 () in
+  let prng = ref 12345 in
+  let next () =
+    prng := (!prng * 1103515245 + 12347) land 0x3FFFFFFF;
+    !prng
+  in
+  for _ = 1 to 500 do
+    let k = Printf.sprintf "k%d" (next () mod 64) in
+    match Serve.Cache.find c k with
+    | Some _ -> ()
+    | None -> Serve.Cache.store c k ("v:" ^ k)
+  done;
+  let stats = Serve.Cache.stats c in
+  check bool "memory tier bounded by capacity" true
+    (List.assoc "mem_entries" stats <= 16);
+  check bool "evictions happened" true (List.assoc "evictions" stats > 0)
+
+let test_cache_disk_tier () =
+  let dir = fresh_dir "disk" in
+  let a = Serve.Cache.create ~mem_capacity:8 ~dir () in
+  Serve.Cache.store a "deadbeef" "payload-bytes";
+  check bool "entry file uses the key name" true
+    (Sys.file_exists (Filename.concat dir "deadbeef.cache"));
+  (* A fresh instance (new process in real life) must serve the entry
+     from disk and promote it into memory. *)
+  let b = Serve.Cache.create ~mem_capacity:8 ~dir () in
+  check bool "disk survives the instance" true
+    (Serve.Cache.find b "deadbeef" = Some "payload-bytes");
+  let stats = Serve.Cache.stats b in
+  check int "counted as a disk hit" 1 (List.assoc "disk_hits" stats);
+  check int "and as a hit" 1 (List.assoc "hits" stats);
+  check bool "promoted: second find needs no disk" true
+    (Serve.Cache.find b "deadbeef" = Some "payload-bytes");
+  check int "disk hits unchanged after promotion" 1
+    (List.assoc "disk_hits" (Serve.Cache.stats b))
+
+let test_cache_crash_safety () =
+  let dir = fresh_dir "crash" in
+  (* A crashed writer leaves a dot-prefixed temp file; it must never be
+     served, and must not block later stores of the same key. *)
+  let oc = open_out (Filename.concat dir ".deadbeef.cache.tmp") in
+  output_string oc "torn write";
+  close_out oc;
+  let c = Serve.Cache.create ~mem_capacity:8 ~dir () in
+  check bool "temp garbage is not an entry" true
+    (Serve.Cache.find c "deadbeef" = None);
+  Serve.Cache.store c "deadbeef" "good";
+  let fresh = Serve.Cache.create ~mem_capacity:8 ~dir () in
+  check bool "store works despite leftover temp" true
+    (Serve.Cache.find fresh "deadbeef" = Some "good")
+
+(* ---- Serve.Server.handle_line: the socket-free request core ---- *)
+
+let server ?(config = Serve.Server.default_config) () =
+  Serve.Server.create config
+
+let test_handler_cache_hit_byte_identical () =
+  let t = server () in
+  let req = {|{"id":1,"op":"compile","bench":"BV_10","strategy":"sr"}|} in
+  let cold, stop1 = Serve.Server.handle_line t req in
+  let warm, stop2 = Serve.Server.handle_line t req in
+  check bool "compile does not stop the daemon" false (stop1 || stop2);
+  check bool "cold response is a miss" true (contains cold "\"cache\":\"miss\"");
+  check bool "warm response is a hit" true (contains warm "\"cache\":\"hit\"");
+  check string "result object replays byte-identically" (result_part cold)
+    (result_part warm);
+  check bool "result names the benchmark" true
+    (contains cold "\"benchmark\":\"BV_10\"")
+
+let test_handler_no_cache () =
+  let t = server () in
+  let req = {|{"op":"compile","bench":"BV_10","no_cache":true}|} in
+  let r1, _ = Serve.Server.handle_line t req in
+  let r2, _ = Serve.Server.handle_line t req in
+  check bool "bypass never hits" true
+    (contains r1 "\"cache\":\"none\"" && contains r2 "\"cache\":\"none\"");
+  check string "but stays deterministic" (result_part r1) (result_part r2)
+
+let test_handler_deadline_keeps_serving () =
+  let t = server () in
+  let doomed =
+    {|{"id":"slow","op":"compile","bench":"Multiply_13","strategy":"qs-max-reuse","deadline_ms":0}|}
+  in
+  let failed, stop = Serve.Server.handle_line t doomed in
+  check bool "deadline trip does not stop the daemon" false stop;
+  check bool "structured failure" true (contains failed "\"ok\":false");
+  check bool "id echoed on failure" true (contains failed "\"id\":\"slow\"");
+  check bool "error names the deadline" true (contains failed "deadline");
+  check bool "budget trips are recoverable" true
+    (contains failed "\"recoverable\":true");
+  (* The very next request on the same server must succeed: the scoped
+     budget died with its request. *)
+  let ok, _ =
+    Serve.Server.handle_line t {|{"id":"next","op":"compile","bench":"BV_10"}|}
+  in
+  check bool "daemon keeps serving after a trip" true (contains ok "\"ok\":true")
+
+let test_handler_admission_and_errors () =
+  (* create floors the admission cap at 1024 bytes, so exceed that. *)
+  let t =
+    server
+      ~config:{ Serve.Server.default_config with max_request_bytes = 64 } ()
+  in
+  let oversized =
+    Printf.sprintf {|{"op":"compile","qasm3":"%s"}|} (String.make 2048 'x')
+  in
+  let r, stop = Serve.Server.handle_line t oversized in
+  check bool "oversized rejected, daemon alive" false stop;
+  check bool "oversized is a structured error" true
+    (contains r "\"ok\":false" && contains r "serve.admission"
+    && contains r "1024 bytes");
+  let bad, _ = Serve.Server.handle_line t "not json at all" in
+  check bool "parse failure is a structured error" true
+    (contains bad "\"ok\":false");
+  let nobench, _ = Serve.Server.handle_line t {|{"op":"compile"}|} in
+  check bool "missing circuit is a structured error" true
+    (contains nobench "\"ok\":false");
+  let unknown, _ =
+    Serve.Server.handle_line t {|{"op":"compile","bench":"NoSuch_99"}|}
+  in
+  check bool "unknown benchmark is a structured error" true
+    (contains unknown "\"ok\":false" && contains unknown "NoSuch_99")
+
+let test_handler_deadline_clamped () =
+  (* With max_deadline_ms = 0, even a generous requested deadline is
+     clamped to an already-expired budget and must trip. *)
+  let t =
+    server
+      ~config:{ Serve.Server.default_config with max_deadline_ms = Some 0 } ()
+  in
+  let r, _ =
+    Serve.Server.handle_line t
+      {|{"op":"compile","bench":"Multiply_13","strategy":"qs-max-reuse","deadline_ms":60000}|}
+  in
+  check bool "requested deadline clamped by the admission cap" true
+    (contains r "\"ok\":false" && contains r "deadline")
+
+let test_handler_verify_and_simulate () =
+  let t = server () in
+  let v, _ =
+    Serve.Server.handle_line t
+      {|{"op":"verify","bench":"BV_10","strategy":"sr"}|}
+  in
+  check bool "verify carries a verdict" true
+    (contains v "\"verdict\":\"equivalent\"");
+  let s, _ =
+    Serve.Server.handle_line t
+      {|{"op":"simulate","bench":"BV_10","shots":64,"seed":3}|}
+  in
+  check bool "simulate carries counts" true
+    (contains s "\"ok\":true" && contains s "\"counts\":");
+  let s', _ =
+    Serve.Server.handle_line t
+      {|{"op":"simulate","bench":"BV_10","shots":64,"seed":3}|}
+  in
+  check bool "simulation results cache too" true (contains s' "\"cache\":\"hit\"");
+  check string "and replay byte-identically" (result_part s) (result_part s')
+
+let test_handler_qasm3_input () =
+  let t = server () in
+  let qasm =
+    "OPENQASM 3.0;\\ninclude \\\"stdgates.inc\\\";\\nqubit[2] q;\\nbit[2] c;\\nh q[0];\\ncx q[0], q[1];\\nc[0] = measure q[0];\\nc[1] = measure q[1];"
+  in
+  let req = Printf.sprintf {|{"op":"compile","qasm3":"%s"}|} qasm in
+  let r1, _ = Serve.Server.handle_line t req in
+  check bool "inline QASM compiles" true (contains r1 "\"ok\":true");
+  (* Same circuit, different spelling: content addressing must hit. *)
+  let req2 =
+    Printf.sprintf {|{"op":"compile","future":1,"qasm3":"%s"}|} qasm
+  in
+  let r2, _ = Serve.Server.handle_line t req2 in
+  check bool "content-addressed hit across spellings" true
+    (contains r2 "\"cache\":\"hit\"");
+  check string "identical result" (result_part r1) (result_part r2)
+
+let test_handler_stats_and_shutdown () =
+  let t = server () in
+  ignore (Serve.Server.handle_line t {|{"op":"compile","bench":"BV_10"}|});
+  let s, stop = Serve.Server.handle_line t {|{"op":"stats"}|} in
+  check bool "stats does not stop the daemon" false stop;
+  check bool "stats embeds the metrics snapshot" true (contains s "\"counters\"");
+  check bool "stats names the engine version" true
+    (contains s Caqr.Version.engine);
+  check bool "stats exposes cache counters" true (contains s "\"misses\"");
+  let bye, stop = Serve.Server.handle_line t {|{"op":"shutdown"}|} in
+  check bool "shutdown acknowledges" true (contains bye "\"ok\":true");
+  check bool "shutdown stops the daemon" true stop
+
+let test_handler_batch_order () =
+  let t = server () in
+  let lines =
+    [
+      {|{"id":10,"op":"compile","bench":"BV_10"}|};
+      {|{"id":11,"op":"stats"}|};
+      {|{"id":12,"op":"compile","bench":"XOR_5"}|};
+    ]
+  in
+  let responses, stop = Serve.Server.handle_batch t lines in
+  check bool "batch does not stop" false stop;
+  check int "one response per request" 3 (List.length responses);
+  List.iteri
+    (fun i r ->
+      check bool
+        (Printf.sprintf "response %d keeps request order" i)
+        true
+        (contains r (Printf.sprintf "\"id\":%d" (10 + i))))
+    responses;
+  let _, stop =
+    Serve.Server.handle_batch t [ {|{"op":"stats"}|}; {|{"op":"shutdown"}|} ]
+  in
+  check bool "stop flag is the disjunction" true stop
+
+(* ---- end to end over a real socket ---- *)
+
+let test_socket_end_to_end () =
+  let dir = fresh_dir "sock" in
+  let socket = Filename.concat dir "caqr.sock" in
+  let config =
+    {
+      Serve.Server.default_config with
+      socket;
+      cache_dir = Some (Filename.concat dir "cache");
+    }
+  in
+  let t = Serve.Server.create config in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run t) in
+  let compile = {|{"id":1,"op":"compile","bench":"BV_10","strategy":"sr"}|} in
+  (match Serve.Client.call_retry ~socket [ compile ] with
+  | [ cold ] ->
+    check bool "cold compile over the socket" true
+      (contains cold "\"ok\":true" && contains cold "\"cache\":\"miss\"");
+    (* One pipelined connection: repeat + stats arrive as a batch. *)
+    (match Serve.Client.call ~socket [ compile; {|{"id":2,"op":"stats"}|} ] with
+    | [ warm; stats ] ->
+      check bool "warm compile hits" true (contains warm "\"cache\":\"hit\"");
+      check string "socket replay is byte-identical" (result_part cold)
+        (result_part warm);
+      check bool "stats over the socket" true (contains stats "\"counters\"")
+    | other ->
+      Alcotest.failf "expected 2 responses, got %d" (List.length other))
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
+  (match Serve.Client.call ~socket [ {|{"op":"shutdown"}|} ] with
+  | [ bye ] -> check bool "clean shutdown" true (contains bye "\"ok\":true")
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
+  Domain.join daemon;
+  check bool "socket file removed on exit" false (Sys.file_exists socket);
+  check bool "disk tier populated" true
+    (Sys.file_exists (Filename.concat dir "cache"))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "invariance" `Quick test_digest_invariance;
+          Alcotest.test_case "sensitivity" `Quick test_digest_sensitivity;
+          Alcotest.test_case "golden artifacts distinct" `Quick
+            test_digest_golden_distinct;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "semantic fields only" `Quick test_fingerprint ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_protocol_defaults;
+          Alcotest.test_case "rejects" `Quick test_protocol_rejects;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key" `Quick test_cache_key;
+          Alcotest.test_case "memory tier" `Quick test_cache_memory_tier;
+          Alcotest.test_case "lru recency" `Quick test_cache_lru;
+          Alcotest.test_case "lru bound under random stream" `Quick
+            test_cache_lru_bound_random;
+          Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
+          Alcotest.test_case "crash safety" `Quick test_cache_crash_safety;
+        ] );
+      ( "handler",
+        [
+          Alcotest.test_case "cache hit is byte-identical" `Quick
+            test_handler_cache_hit_byte_identical;
+          Alcotest.test_case "no_cache bypass" `Quick test_handler_no_cache;
+          Alcotest.test_case "deadline trips, daemon survives" `Quick
+            test_handler_deadline_keeps_serving;
+          Alcotest.test_case "admission and structured errors" `Quick
+            test_handler_admission_and_errors;
+          Alcotest.test_case "deadline clamped by cap" `Quick
+            test_handler_deadline_clamped;
+          Alcotest.test_case "verify and simulate" `Quick
+            test_handler_verify_and_simulate;
+          Alcotest.test_case "inline qasm3 content addressing" `Quick
+            test_handler_qasm3_input;
+          Alcotest.test_case "stats and shutdown" `Quick
+            test_handler_stats_and_shutdown;
+          Alcotest.test_case "batch keeps order" `Quick test_handler_batch_order;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+    ]
