@@ -919,7 +919,141 @@ let serve_exp () =
     [ "BV_10"; "CC_10"; "Multiply_13"; "RD-32" ];
   Printf.printf "=> aggregate warm speedup: %.0fx (cold %.1f ms, warm %.2f ms)\n"
     (!total_cold /. !total_warm)
-    (1000. *. !total_cold) (1000. *. !total_warm)
+    (1000. *. !total_cold) (1000. *. !total_warm);
+
+  (* Back-pressure: a max_inflight=1 daemon whose one slot is held must
+     shed further work instantly with a structured overload rejection —
+     the latency of saying no is part of the service's contract. *)
+  let counter name =
+    let s = Obs.Metrics.snapshot () in
+    try List.assoc name s.Obs.Metrics.counters with Not_found -> 0
+  in
+  let t1 =
+    Serve.Server.create
+      { Serve.Server.default_config with Serve.Server.max_inflight = 1 }
+  in
+  let before = counter "serve.rejected.overload" in
+  assert (Guard.Gate.try_enter (Serve.Server.gate t1));
+  let n_shed = 50 in
+  let t0 = Unix.gettimeofday () in
+  let rejected = ref 0 in
+  for i = 1 to n_shed do
+    let r, _ =
+      Serve.Server.handle_line t1
+        (Printf.sprintf {|{"id":%d,"op":"compile","bench":"BV_10"}|} i)
+    in
+    if contains_sub r "\"site\":\"request.overload\"" then incr rejected
+  done;
+  let shed_s = Unix.gettimeofday () -. t0 in
+  Guard.Gate.leave (Serve.Server.gate t1);
+  let overload_metric = counter "serve.rejected.overload" - before in
+  Printf.printf
+    "=> back-pressure: %d/%d requests shed in %.2f ms (%.1f us/rejection), \
+     serve.rejected.overload +%d\n"
+    !rejected n_shed (1000. *. shed_s)
+    (1_000_000. *. shed_s /. float_of_int n_shed)
+    overload_metric;
+  if !rejected <> n_shed || overload_metric < n_shed then
+    incr structural_violations;
+
+  (* Disk budget: warm compiles under a deliberately tiny byte budget
+     must evict (serve.cache.disk.evict > 0) while staying under it. *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "caqr-bench-cache-%d" (Unix.getpid ()))
+  in
+  let t2 =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        Serve.Server.cache_dir = Some dir;
+        disk_budget_bytes = Some 600;
+      }
+  in
+  let evict_before = counter "serve.cache.disk.evict" in
+  List.iter
+    (fun name ->
+      ignore
+        (Serve.Server.handle_line t2
+           (Printf.sprintf {|{"op":"compile","bench":%S}|} name)))
+    [ "BV_10"; "CC_10"; "Multiply_13"; "RD-32"; "XOR_5" ];
+  let evictions = counter "serve.cache.disk.evict" - evict_before in
+  let disk_bytes =
+    try List.assoc "disk_bytes" (Serve.Cache.stats (Serve.Server.cache t2))
+    with Not_found -> -1
+  in
+  Printf.printf
+    "=> disk budget: 600 bytes forced %d eviction(s), tier now %d bytes\n"
+    evictions disk_bytes;
+  if evictions < 1 || disk_bytes > 600 then incr structural_violations;
+  (try
+     Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+
+  (* Concurrency over TCP: 4 clients against a 4-handler daemon on an
+     ephemeral loopback port; every response must be byte-identical to
+     the sequential handler. *)
+  let t3 =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        Serve.Server.addr = Serve.Transport.Tcp ("127.0.0.1", 0);
+        handler_domains = 4;
+      }
+  in
+  let bound = Atomic.make None in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Server.run t3 ~ready:(fun a -> Atomic.set bound (Some a)))
+  in
+  let rec await k =
+    match Atomic.get bound with
+    | Some a -> a
+    | None when k > 0 ->
+      Unix.sleepf 0.01;
+      await (k - 1)
+    | None -> failwith "bench serve: daemon never became ready"
+  in
+  let addr = await 500 in
+  let reqs k =
+    [
+      Printf.sprintf {|{"id":%d,"op":"compile","bench":"BV_10"}|} (10 * k);
+      Printf.sprintf {|{"id":%d,"op":"compile","bench":"XOR_5"}|}
+        ((10 * k) + 1);
+      Printf.sprintf
+        {|{"id":%d,"op":"simulate","bench":"BV_10","shots":64,"seed":3}|}
+        ((10 * k) + 2);
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () -> Serve.Client.call_retry ~addr (reqs k)))
+  in
+  let answers = List.map Domain.join clients in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ignore (Serve.Client.call ~addr [ {|{"op":"shutdown"}|} ]);
+  Domain.join daemon;
+  let baseline = Serve.Server.create Serve.Server.default_config in
+  let mismatches = ref 0 in
+  List.iteri
+    (fun k responses ->
+      List.iter2
+        (fun req resp ->
+          let seq, _ = Serve.Server.handle_line baseline req in
+          if serve_result_part seq <> serve_result_part resp then
+            incr mismatches)
+        (reqs k) responses)
+    answers;
+  Printf.printf
+    "=> tcp concurrency: 4 clients x 3 requests in %.1f ms over %s, %d \
+     mismatch(es) vs sequential\n"
+    (1000. *. wall_s)
+    (Serve.Transport.addr_to_string addr)
+    !mismatches;
+  if !mismatches > 0 then incr structural_violations
 
 (* ----------------------------------------------------------------- main *)
 

@@ -530,12 +530,41 @@ let chaos_cmd =
 
 (* ---- serve: the compilation-as-a-service daemon ---- *)
 
+let addr_conv =
+  let parse s =
+    match Serve.Transport.addr_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Serve.Transport.addr_to_string a)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let addr_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Service address: $(b,unix:)$(i,PATH) (newline-delimited JSON), \
+           $(b,tcp:)$(i,HOST):$(i,PORT) (length-prefixed frames; port 0 \
+           picks an ephemeral port), or a bare Unix-socket path.")
+
 let socket_flag =
   Cmdliner.Arg.(
     value
-    & opt string Serve.Server.default_config.Serve.Server.socket
+    & opt (some string) None
     & info [ "socket" ] ~docv:"PATH"
-        ~doc:"Unix-domain socket path the daemon listens on.")
+        ~doc:"Deprecated alias for $(b,--addr unix:)$(i,PATH).")
+
+(* --addr wins over the deprecated --socket; with neither, the config
+   default (unix:caqr.sock). *)
+let resolve_addr addr socket =
+  match (addr, socket) with
+  | Some a, _ -> a
+  | None, Some path -> Serve.Transport.Unix path
+  | None, None -> Serve.Server.default_config.Serve.Server.addr
 
 let serve_cmd =
   let cache_dir_flag =
@@ -575,40 +604,77 @@ let serve_cmd =
       & info [ "max-batch" ] ~docv:"N"
           ~doc:"Most pipelined requests dispatched in one pool batch.")
   in
-  let run socket cache_dir mem_capacity jobs default_deadline_ms max_deadline_ms
-      max_batch =
+  let handler_domains_flag =
+    Cmdliner.Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.handler_domains
+      & info [ "handler-domains" ] ~docv:"N"
+          ~doc:
+            "Connection-handler domains: how many clients are served \
+             concurrently.")
+  in
+  let max_inflight_flag =
+    Cmdliner.Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Back-pressure: most compile/verify/simulate requests running \
+             at once; excess requests are rejected immediately with a \
+             recoverable request.overload error. 0 = unlimited.")
+  in
+  let disk_budget_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-budget-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte cap on the on-disk cache tier; least-recently-used \
+             entries are evicted past it. Default: unbounded.")
+  in
+  let run addr socket cache_dir mem_capacity jobs handler_domains max_inflight
+      disk_budget_bytes default_deadline_ms max_deadline_ms max_batch =
+    let addr = resolve_addr addr socket in
     let server =
       Serve.Server.create
         {
           Serve.Server.default_config with
-          Serve.Server.socket;
+          Serve.Server.addr;
           cache_dir;
+          disk_budget_bytes;
           mem_capacity;
           jobs;
+          handler_domains;
+          max_inflight;
           default_deadline_ms;
           max_deadline_ms;
           max_batch;
         }
     in
-    Printf.printf "caqr_cli serve: %s listening on %s (jobs %d%s)\n%!"
-      Caqr.Version.engine socket jobs
-      (match cache_dir with
-       | Some d -> Printf.sprintf ", disk cache %s" d
-       | None -> "");
-    Serve.Server.run server;
+    Serve.Server.run server
+      ~ready:(fun bound ->
+        Printf.printf
+          "caqr_cli serve: %s listening on %s (handlers %d, jobs %d%s)\n%!"
+          Caqr.Version.engine
+          (Serve.Transport.addr_to_string bound)
+          handler_domains jobs
+          (match cache_dir with
+           | Some d -> Printf.sprintf ", disk cache %s" d
+           | None -> ""));
     Printf.printf "caqr_cli serve: shutdown\n%!"
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "serve"
        ~doc:
-         "Run the compilation service: a long-lived daemon answering \
-          newline-JSON compile/verify/simulate/stats/shutdown requests \
-          over a Unix-domain socket, batching pipelined requests onto \
-          the execution pool and answering repeats from a \
-          content-addressed cache")
+         "Run the compilation service: a long-lived daemon answering JSON \
+          compile/verify/simulate/stats/shutdown requests over a Unix \
+          socket or TCP, serving connections concurrently with \
+          back-pressure, batching pipelined requests onto the execution \
+          pool and answering repeats from a content-addressed cache")
     Cmdliner.Term.(
-      const run $ socket_flag $ cache_dir_flag $ cache_mem_flag $ jobs_flag
-      $ default_deadline_flag $ max_deadline_flag $ max_batch_flag)
+      const run $ addr_flag $ socket_flag $ cache_dir_flag $ cache_mem_flag
+      $ jobs_flag $ handler_domains_flag $ max_inflight_flag
+      $ disk_budget_flag $ default_deadline_flag $ max_deadline_flag
+      $ max_batch_flag)
 
 (* ---- call: one-shot client for scripts, CI and debugging ---- *)
 
@@ -619,25 +685,120 @@ let call_cmd =
       & info [] ~docv:"REQUEST"
           ~doc:"JSON request objects, one per argument, sent as one batch.")
   in
-  let run socket requests =
-    let responses = Serve.Client.call_retry ~socket requests in
+  let contains r needle =
+    let n = String.length needle and m = String.length r in
+    let rec go i = i + n <= m && (String.sub r i n = needle || go (i + 1)) in
+    go 0
+  in
+  let run addr socket requests =
+    let addr = resolve_addr addr socket in
+    let responses = Serve.Client.call_retry ~addr requests in
     List.iter print_endline responses;
-    let failed r =
-      (* Responses are single-line JSON objects; a failure always
-         carries the literal field "ok":false. *)
-      let needle = "\"ok\":false" in
-      let n = String.length needle and m = String.length r in
-      let rec go i = i + n <= m && (String.sub r i n = needle || go (i + 1)) in
-      go 0
+    (* Responses are single-line JSON objects; a failure always carries
+       the literal field "ok":false. Overload rejections get their own
+       exit code so scripts can retry instead of giving up. *)
+    let failed r = contains r {|"ok":false|} in
+    let overloaded r =
+      failed r && contains r {|"site":"request.overload"|}
     in
-    if List.exists failed responses then exit 1
+    if List.exists overloaded responses then exit 5
+    else if List.exists failed responses then exit 1
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "call"
        ~doc:
-         "Send request lines to a running daemon and print one response \
-          per line; exits 1 if any response is ok:false")
-    Cmdliner.Term.(const run $ socket_flag $ requests_pos)
+         "Send requests to a running daemon and print one response per \
+          line; exits 5 if any response is an overload rejection, 1 if \
+          any other response is ok:false")
+    Cmdliner.Term.(const run $ addr_flag $ socket_flag $ requests_pos)
+
+(* ---- cache-warm: precompile the registry into a disk cache ---- *)
+
+let cache_warm_cmd =
+  let cache_dir_pos =
+    Cmdliner.Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Disk cache tier to fill — point the daemon at the same DIR.")
+  in
+  let strategies_flag =
+    Cmdliner.Arg.(
+      value
+      & opt_all string [ "sr" ]
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Strategy to precompile (repeatable; the protocol grammar: \
+             sr, baseline, qs-max-reuse, qs-min-depth, qs-best-fidelity \
+             or a qubit budget). Default: sr, the protocol default.")
+  in
+  let disk_budget_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-budget-bytes" ] ~docv:"BYTES"
+          ~doc:"Byte cap applied while warming (oldest entries evicted).")
+  in
+  let run cache_dir strategies disk_budget_bytes jobs =
+    (* Validate the strategy grammar up front — one bad flag should be a
+       usage error, not N per-benchmark failures. *)
+    List.iter
+      (fun s ->
+        match Serve.Protocol.strategy_of_string s with
+        | Ok _ -> ()
+        | Error msg ->
+          Printf.eprintf "caqr_cli cache-warm: %s\n" msg;
+          exit 2)
+      strategies;
+    (* Warming goes through the server's own handler, so the bytes on
+       disk are exactly the bytes a later daemon replays on a hit. *)
+    let server =
+      Serve.Server.create
+        {
+          Serve.Server.default_config with
+          Serve.Server.cache_dir = Some cache_dir;
+          disk_budget_bytes;
+          jobs;
+        }
+    in
+    let lines =
+      List.concat_map
+        (fun (e : Benchmarks.Suite.entry) ->
+          List.map
+            (fun s ->
+              Printf.sprintf {|{"op":"compile","bench":%S,"strategy":%S}|}
+                e.Benchmarks.Suite.name s)
+            strategies)
+        (Benchmarks.Suite.table1 ())
+    in
+    let responses, _ = Serve.Server.handle_batch server lines in
+    let failed =
+      List.filter
+        (fun r ->
+          let needle = {|"ok":false|} in
+          let n = String.length needle and m = String.length r in
+          let rec go i =
+            i + n <= m && (String.sub r i n = needle || go (i + 1))
+          in
+          go 0)
+        responses
+    in
+    Printf.printf "caqr_cli cache-warm: %d of %d entries compiled into %s\n%!"
+      (List.length responses - List.length failed)
+      (List.length responses) cache_dir;
+    List.iter (fun r -> Printf.eprintf "cache-warm failed: %s\n" r) failed;
+    if failed <> [] then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "cache-warm"
+       ~doc:
+         "Precompile the benchmark registry into an on-disk cache tier so \
+          a daemon started with the same --cache-dir answers its first \
+          requests from cache. Exits 1 if any benchmark failed to \
+          compile.")
+    Cmdliner.Term.(
+      const run $ cache_dir_pos $ strategies_flag $ disk_budget_flag
+      $ jobs_flag)
 
 let () =
   let info =
@@ -648,7 +809,7 @@ let () =
     try
       Cmdliner.Cmd.eval ~catch:false
         (Cmdliner.Cmd.group info
-           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd; serve_cmd; call_cmd ])
+           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd; serve_cmd; call_cmd; cache_warm_cmd ])
     with
     | Guard.Error.Guard_error e | Guard.Error.Budget_exceeded e ->
       (* Structured errors crossing the command boundary are internal

@@ -323,9 +323,6 @@ let compile ?(options = default) device strategy input =
     { report with metrics = Some (Obs.Metrics.snapshot ()) }
   else report
 
-let compile_legacy ?verify ?(seed = 1) device strategy input =
-  compile ~options:{ default with verify; seed } device strategy input
-
 (* Strategy fan-out: each strategy's compile (and its verification, when
    enabled) is an independent task. The inner compiles run with jobs=1 —
    the outer fan-out already owns the domains, and nested pools would

@@ -105,18 +105,6 @@ val compile :
   input ->
   report
 
-(** The pre-[options] signature, kept as a thin wrapper for one
-    deprecation cycle. *)
-val compile_legacy :
-  ?verify:Verify.level ->
-  ?seed:int ->
-  Hardware.Device.t ->
-  strategy ->
-  input ->
-  report
-[@@ocaml.deprecated
-  "build a Pipeline.options record and call Pipeline.compile instead"]
-
 (** [compile_all ?options device strategies input] compiles (and, when
     [options.verify] is set, translation-validates) every strategy,
     fanning the strategies out over [options.jobs] domains. The reports

@@ -1,0 +1,83 @@
+(* A fixed crew of long-running worker domains draining one shared
+   queue. Where Pool is a deterministic map over a known task list (one
+   batch, static partition, ordered merge), Crew is for open-ended
+   streams whose arrival order IS timing-dependent — accepted
+   connections, background jobs — and whose handler owns any
+   determinism story (the service handler is order-insensitive by
+   construction: every request computes or replays a content-addressed
+   result).
+
+   One mutex + condition around a queue is deliberately boring: the
+   jobs a crew carries (whole connections) are seconds-long, so queue
+   contention is unmeasurable, and a closable queue with broadcast
+   shutdown is easy to prove drain-correct. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t handler =
+  let rec next () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          while Queue.is_empty t.queue && not t.closed do
+            Condition.wait t.nonempty t.lock
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match job with
+    | None -> () (* closed and drained *)
+    | Some job ->
+      (try handler job with
+      | Sys.Break as e -> raise e
+      | _ -> Obs.Metrics.incr "exec.crew.task.errors");
+      next ()
+  in
+  next ()
+
+let create ?(domains = 1) handler =
+  let domains = max 1 (min Pool.max_jobs domains) in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  (* Workers inherit the creator's scoped budget, mirroring Pool: work
+     handed to the crew stays under whatever deadline the creator was
+     running with (typically none for a server; each request then
+     installs its own scope). *)
+  let budget = Guard.Budget.current () in
+  Obs.Metrics.incr ~by:domains "exec.crew.domains";
+  t.workers <-
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            Guard.Budget.scoped budget (fun () -> worker_loop t handler)));
+  t
+
+let submit t job =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then false
+      else begin
+        Queue.add job t.queue;
+        Obs.Metrics.incr "exec.crew.jobs";
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let join t =
+  close t;
+  List.iter Domain.join t.workers;
+  t.workers <- []

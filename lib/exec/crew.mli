@@ -1,0 +1,39 @@
+(** A fixed crew of long-running worker domains over a closable shared
+    queue.
+
+    {!Pool} is a deterministic [map]: one batch of known tasks, results
+    merged in submission order. A crew is the complement — an
+    open-ended stream of jobs (accepted connections, background work)
+    consumed by [domains] workers for the crew's whole lifetime, with
+    no result channel: the handler performs its own effects. Which
+    worker runs which job is timing-dependent by nature; callers needing
+    determinism must make the handler order-insensitive (the compilation
+    service does: every request computes or replays a content-addressed
+    response).
+
+    Workers inherit the creator's scoped {!Guard.Budget} (captured at
+    {!create}), matching {!Pool}'s propagation rule. A handler exception
+    is contained: it is counted (["exec.crew.task.errors"]) and the
+    worker moves to the next job — one bad connection cannot take a
+    worker down. [Sys.Break] is re-raised.
+
+    Counters: ["exec.crew.domains"] (workers spawned),
+    ["exec.crew.jobs"] (jobs accepted),
+    ["exec.crew.task.errors"]. *)
+
+type 'a t
+
+(** [create ?domains handler] spawns the workers immediately
+    ([domains] clamped to [\[1, Pool.max_jobs\]], default 1). *)
+val create : ?domains:int -> ('a -> unit) -> 'a t
+
+(** [submit t job] enqueues [job], or answers [false] (dropping it)
+    after {!close}. Never blocks. *)
+val submit : 'a t -> 'a -> bool
+
+(** Stop accepting jobs. Idempotent; already-queued jobs still run. *)
+val close : 'a t -> unit
+
+(** [join t] closes the crew and waits until every queued job has been
+    handled and all workers have exited. *)
+val join : 'a t -> unit

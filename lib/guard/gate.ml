@@ -1,0 +1,46 @@
+(* A lock-free admission gate: one atomic in-flight counter, bounded by
+   a fixed limit. Admission is a CAS loop so two domains racing for the
+   last slot cannot both win; rejection never blocks — load shedding is
+   the caller's structured-error path, not a queue. *)
+
+type t = {
+  limit : int;
+  inflight : int Atomic.t;
+  reject_metric : string option;
+}
+
+let create ?reject_metric ~limit () =
+  { limit; inflight = Atomic.make 0; reject_metric }
+
+let limit t = t.limit
+let inflight t = Atomic.get t.inflight
+let unlimited t = t.limit <= 0
+
+let reject t =
+  (match t.reject_metric with
+  | Some m -> Obs.Metrics.incr m
+  | None -> ());
+  false
+
+let rec try_enter t =
+  if unlimited t then begin
+    (* No bound, but the occupancy gauge stays meaningful. *)
+    Atomic.incr t.inflight;
+    true
+  end
+  else
+    let n = Atomic.get t.inflight in
+    if n >= t.limit then reject t
+    else if Atomic.compare_and_set t.inflight n (n + 1) then true
+    else try_enter t
+
+let leave t =
+  let n = Atomic.fetch_and_add t.inflight (-1) in
+  (* A leave without a matching enter is a caller bug; restoring the
+     counter keeps the gate usable rather than wedged shut. *)
+  if n <= 0 then Atomic.incr t.inflight
+
+let with_slot t f =
+  if try_enter t then
+    Fun.protect ~finally:(fun () -> leave t) (fun () -> Some (f ()))
+  else None

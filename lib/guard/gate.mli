@@ -1,0 +1,40 @@
+(** Bounded-concurrency admission gate — the load half of admission
+    control.
+
+    A gate tracks how many callers are currently inside ({!inflight})
+    against a fixed {!limit}. {!try_enter} never blocks: past the limit
+    it answers [false] immediately (bumping the gate's rejection
+    counter), so an overloaded service sheds load with a structured
+    error instead of queueing unboundedly. The compilation service puts
+    one gate in front of its work verbs ([max_inflight]) and reports
+    rejections as ["serve.rejected.overload"].
+
+    All operations are domain-safe and lock-free (one atomic counter);
+    admission is a compare-and-set loop, so two domains racing for the
+    last slot cannot both win. *)
+
+type t
+
+(** [create ?reject_metric ~limit ()] — a gate admitting at most [limit]
+    concurrent holders. [limit <= 0] means unbounded: {!try_enter}
+    always succeeds but occupancy is still counted. Each rejection bumps
+    the [reject_metric] counter in {!Obs.Metrics} when given. *)
+val create : ?reject_metric:string -> limit:int -> unit -> t
+
+(** The configured limit ([<= 0] = unbounded). *)
+val limit : t -> int
+
+(** Current holders. *)
+val inflight : t -> int
+
+(** [try_enter t] takes a slot, or answers [false] (never blocks) when
+    the gate is full. Every successful enter must be paired with exactly
+    one {!leave}; prefer {!with_slot} where control flow allows. *)
+val try_enter : t -> bool
+
+(** Release a slot taken by {!try_enter}. *)
+val leave : t -> unit
+
+(** [with_slot t f] runs [f] inside a slot ([Some (f ())], released on
+    exit, exceptions included), or [None] when the gate is full. *)
+val with_slot : t -> (unit -> 'a) -> 'a option

@@ -8,11 +8,13 @@ let protected f = Mutex.protect lock f
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 let timers : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, int ref) Hashtbl.t = Hashtbl.create 16
 
 let reset () =
   protected @@ fun () ->
   Hashtbl.reset counters;
-  Hashtbl.reset timers
+  Hashtbl.reset timers;
+  Hashtbl.reset gauges
 
 let incr ?(by = 1) name =
   protected @@ fun () ->
@@ -23,6 +25,16 @@ let incr ?(by = 1) name =
 let count name =
   protected @@ fun () ->
   match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let set_gauge name v =
+  protected @@ fun () ->
+  match Hashtbl.find_opt gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add gauges name (ref v)
+
+let gauge name =
+  protected @@ fun () ->
+  match Hashtbl.find_opt gauges name with Some r -> !r | None -> 0
 
 let add_time name dt =
   let dt = if dt < 0. then 0. else dt in
@@ -41,6 +53,7 @@ let timing name =
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   timings : (string * float) list;
 }
 
@@ -49,6 +62,7 @@ let snapshot () =
   let dump tbl read = Hashtbl.fold (fun k r acc -> (k, read r) :: acc) tbl [] in
   {
     counters = List.sort compare (dump counters ( ! ));
+    gauges = List.sort compare (dump gauges ( ! ));
     timings = List.sort compare (dump timers ( ! ));
   }
 
@@ -56,6 +70,9 @@ let pp ppf s =
   List.iter
     (fun (k, v) -> Format.fprintf ppf "%-28s %12d@." k v)
     s.counters;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-28s %12d (gauge)@." k v)
+    s.gauges;
   List.iter
     (fun (k, v) -> Format.fprintf ppf "%-28s %12.3f ms@." k (1000. *. v))
     s.timings
@@ -65,6 +82,7 @@ let pp ppf s =
 let to_json s =
   let field f (k, v) = Printf.sprintf "%S:%s" k (f v) in
   let obj f kvs = "{" ^ String.concat "," (List.map (field f) kvs) ^ "}" in
-  Printf.sprintf {|{"counters":%s,"timings_s":%s}|}
+  Printf.sprintf {|{"counters":%s,"gauges":%s,"timings_s":%s}|}
     (obj string_of_int s.counters)
+    (obj string_of_int s.gauges)
     (obj (Printf.sprintf "%.6f") s.timings)

@@ -27,6 +27,15 @@ val incr : ?by:int -> string -> unit
 (** Current value of a counter (0 when never bumped). *)
 val count : string -> int
 
+(** [set_gauge name v] records the current level of [name] — a value
+    that goes up and down (in-flight requests, cache bytes on disk) as
+    opposed to a monotonically accumulating counter. The last write
+    wins. *)
+val set_gauge : string -> int -> unit
+
+(** Current value of a gauge (0 when never set). *)
+val gauge : string -> int
+
 (** [add_time name seconds] accumulates into timer [name]; negative deltas
     (non-monotonic clock steps) are clamped to zero. *)
 val add_time : string -> float -> unit
@@ -41,6 +50,7 @@ val timing : string -> float
 (** Immutable view of the registry, sorted by key. *)
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;  (** last-written levels *)
   timings : (string * float) list;  (** seconds *)
 }
 
@@ -50,5 +60,5 @@ val snapshot : unit -> snapshot
 val pp : Format.formatter -> snapshot -> unit
 
 (** Machine-readable rendering:
-    [{"counters":{...},"timings_s":{...}}]. *)
+    [{"counters":{...},"gauges":{...},"timings_s":{...}}]. *)
 val to_json : snapshot -> string

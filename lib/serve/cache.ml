@@ -3,15 +3,23 @@
    per eviction, which is noise at the few-hundred-entry capacities the
    server runs). The disk tier is one file per key, written with the
    same temp+rename discipline as Fuzz.Corpus so a crash mid-write can
-   never corrupt a later read. *)
+   never corrupt a later read — and, since this PR, byte-budgeted: an
+   in-memory index (seeded from an mtime-ordered directory scan at
+   create) tracks per-entry sizes and recency stamps, and stores evict
+   least-recently-used entries until usage fits the budget again. *)
 
 type entry = { value : string; mutable stamp : int }
+type disk_entry = { size : int; mutable dstamp : int }
 
 type t = {
   lock : Mutex.t;
   mem : (string, entry) Hashtbl.t;
   capacity : int;
   dir : string option;
+  disk_budget : int option;
+  disk : (string, disk_entry) Hashtbl.t;
+  mutable disk_bytes : int;
+  mutable disk_evictions : int;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -19,27 +27,74 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(mem_capacity = 256) ?dir () =
-  {
-    lock = Mutex.create ();
-    mem = Hashtbl.create 64;
-    capacity = max 0 mem_capacity;
-    dir;
-    clock = 0;
-    hits = 0;
-    misses = 0;
-    disk_hits = 0;
-    evictions = 0;
-  }
+let entry_file key = key ^ ".cache"
+let file_key f = Filename.chop_suffix f ".cache"
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let publish_disk_gauges t =
+  if t.dir <> None then begin
+    Obs.Metrics.set_gauge "serve.cache.disk.bytes" t.disk_bytes;
+    Obs.Metrics.set_gauge "serve.cache.disk.entries" (Hashtbl.length t.disk)
+  end
+
+(* Rebuild the disk index from the directory. Entries are stamped in
+   mtime order (oldest first, name as tie-break) so the LRU order a
+   previous process established survives the restart as closely as the
+   filesystem records it. *)
+let scan_disk t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let entries =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".cache"
+               && String.length f > 0
+               && f.[0] <> '.')
+        |> List.filter_map (fun f ->
+               match Unix.stat (Filename.concat dir f) with
+               | st -> Some (file_key f, st.Unix.st_size, st.Unix.st_mtime)
+               | exception Unix.Unix_error _ -> None)
+        |> List.sort (fun (ka, _, ma) (kb, _, mb) ->
+               compare (ma, ka) (mb, kb))
+      in
+      List.iter
+        (fun (key, size, _) ->
+          Hashtbl.replace t.disk key { size; dstamp = tick t };
+          t.disk_bytes <- t.disk_bytes + size)
+        entries;
+      publish_disk_gauges t
+    end
+
+let create ?(mem_capacity = 256) ?dir ?disk_budget_bytes () =
+  let t =
+    {
+      lock = Mutex.create ();
+      mem = Hashtbl.create 64;
+      capacity = max 0 mem_capacity;
+      dir;
+      disk_budget = Option.map (max 0) disk_budget_bytes;
+      disk = Hashtbl.create 64;
+      disk_bytes = 0;
+      disk_evictions = 0;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      disk_hits = 0;
+      evictions = 0;
+    }
+  in
+  scan_disk t;
+  t
 
 let key ~op ~digest ~fingerprint =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00" [ Caqr.Version.engine; op; digest; fingerprint ]))
-
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
 
 (* ---- disk tier ---- *)
 
@@ -48,8 +103,6 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
-
-let entry_file key = key ^ ".cache"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -72,6 +125,41 @@ let write_atomic ~dir ~file content =
      raise e);
   Sys.rename tmp (Filename.concat dir file)
 
+(* Deleting the file before dropping the index entry is the crash-safe
+   order: a crash in between leaves an index that merely overcounts
+   until the next restart's scan, never a file the index forgot (which
+   would leak disk forever). *)
+let disk_evict_past_budget t dir =
+  match t.disk_budget with
+  | None -> ()
+  | Some budget ->
+    while t.disk_bytes > budget && Hashtbl.length t.disk > 0 do
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, best) when best.dstamp <= e.dstamp -> acc
+            | _ -> Some (k, e))
+          t.disk None
+      in
+      match victim with
+      | Some (k, e) ->
+        (try Sys.remove (Filename.concat dir (entry_file k))
+         with Sys_error _ -> ());
+        Hashtbl.remove t.disk k;
+        t.disk_bytes <- t.disk_bytes - e.size;
+        t.disk_evictions <- t.disk_evictions + 1;
+        Obs.Metrics.incr "serve.cache.disk.evict"
+      | None -> ()
+    done
+
+let disk_note t key size =
+  (match Hashtbl.find_opt t.disk key with
+  | Some old -> t.disk_bytes <- t.disk_bytes - old.size
+  | None -> ());
+  Hashtbl.replace t.disk key { size; dstamp = tick t };
+  t.disk_bytes <- t.disk_bytes + size
+
 let disk_find t key =
   match t.dir with
   | None -> None
@@ -79,7 +167,12 @@ let disk_find t key =
     let path = Filename.concat dir (entry_file key) in
     if Sys.file_exists path then
       match read_file path with
-      | v -> Some v
+      | v ->
+        (* Refresh recency; adopt entries a sibling process wrote. *)
+        (match Hashtbl.find_opt t.disk key with
+        | Some e -> e.dstamp <- tick t
+        | None -> disk_note t key (String.length v));
+        Some v
       | exception Sys_error _ -> None
     else None
 
@@ -87,8 +180,20 @@ let disk_store t key value =
   match t.dir with
   | None -> ()
   | Some dir ->
-    mkdir_p dir;
-    write_atomic ~dir ~file:(entry_file key) value
+    let size = String.length value in
+    (* An entry bigger than the whole budget would only evict everything
+       else and then itself; don't let it touch the tier at all. *)
+    let oversized =
+      match t.disk_budget with Some b -> size > b | None -> false
+    in
+    if oversized then Obs.Metrics.incr "serve.cache.disk.oversized"
+    else begin
+      mkdir_p dir;
+      write_atomic ~dir ~file:(entry_file key) value;
+      disk_note t key size;
+      disk_evict_past_budget t dir;
+      publish_disk_gauges t
+    end
 
 (* ---- memory tier ---- *)
 
@@ -155,4 +260,7 @@ let stats t =
     ("disk_hits", t.disk_hits);
     ("evictions", t.evictions);
     ("mem_entries", Hashtbl.length t.mem);
+    ("disk_entries", Hashtbl.length t.disk);
+    ("disk_bytes", t.disk_bytes);
+    ("disk_evictions", t.disk_evictions);
   ]

@@ -1,5 +1,5 @@
 (** Content-addressed compilation cache: an in-memory LRU tier over an
-    optional on-disk tier.
+    optional byte-budgeted on-disk tier.
 
     Keys are {!key} digests of (engine version, op, canonical circuit
     digest, options fingerprint) — see {!Quantum.Circuit.digest} and
@@ -14,33 +14,47 @@
     every entry lands via write-to-temp + atomic [Sys.rename] in the
     cache directory, so an interrupted write leaves at worst an ignored
     [.*.tmp] file, never a truncated entry. Lookups only ever open the
-    final name.
+    final name. When a [disk_budget_bytes] is set, an in-memory index
+    (seeded from an mtime-ordered directory scan at {!create}, so LRU
+    order survives restarts) tracks per-entry sizes, and stores evict
+    least-recently-used entries — file removed first, index second, so
+    a crash in between can only overcount, never leak — until usage
+    fits the budget. Values larger than the whole budget bypass the
+    tier entirely.
 
     All operations are domain-safe (one mutex), so batched requests may
     probe and fill the cache from pool workers. Counters land in
     {!Obs.Metrics}: ["serve.cache.hit"], ["serve.cache.miss"],
-    ["serve.cache.disk.hit"], ["serve.cache.evict"]. *)
+    ["serve.cache.disk.hit"], ["serve.cache.evict"],
+    ["serve.cache.disk.evict"], ["serve.cache.disk.oversized"]; gauges
+    ["serve.cache.disk.bytes"] and ["serve.cache.disk.entries"] track
+    current disk usage. *)
 
 type t
 
-(** [create ?mem_capacity ?dir ()] — an LRU of at most [mem_capacity]
-    entries (default 256; 0 disables the memory tier) over an optional
-    disk tier rooted at [dir] (created on first store). *)
-val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+(** [create ?mem_capacity ?dir ?disk_budget_bytes ()] — an LRU of at
+    most [mem_capacity] entries (default 256; 0 disables the memory
+    tier) over an optional disk tier rooted at [dir] (created on first
+    store). [disk_budget_bytes] caps the disk tier's total payload
+    bytes (omitted = unbounded, the pre-budget behaviour; 0 keeps at
+    most the entry being written, i.e. effectively disables the tier). *)
+val create : ?mem_capacity:int -> ?dir:string -> ?disk_budget_bytes:int -> unit -> t
 
 (** [key ~op ~digest ~fingerprint] — the content address, an MD5 hex of
     the four identity components (engine version included). *)
 val key : op:string -> digest:string -> fingerprint:string -> string
 
 (** Memory tier first (refreshing recency), then disk (promoting the
-    entry into memory). *)
+    entry into memory and refreshing its disk recency). *)
 val find : t -> string -> string option
 
 (** Insert into both tiers, evicting the least-recently-used in-memory
-    entry past capacity. Storing an existing key overwrites. *)
+    entry past capacity and least-recently-used disk entries past the
+    byte budget. Storing an existing key overwrites. *)
 val store : t -> string -> string -> unit
 
 (** Lifetime counters of this cache value, for the [stats] verb:
-    [hits], [misses], [disk_hits] (subset of hits), [evictions], and
-    the current [mem_entries]. *)
+    [hits], [misses], [disk_hits] (subset of hits), [evictions], the
+    current [mem_entries], and the disk tier's [disk_entries],
+    [disk_bytes] and [disk_evictions]. *)
 val stats : t -> (string * int) list

@@ -1,51 +1,34 @@
-let call ~socket lines =
+let call ~addr lines =
   let n = List.length lines in
   if n = 0 then []
   else begin
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let conn = Transport.connect addr in
     Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      ~finally:(fun () -> Transport.close conn)
       (fun () ->
-        Unix.connect fd (Unix.ADDR_UNIX socket);
-        let payload = String.concat "\n" lines ^ "\n" in
-        let len = String.length payload in
-        let written = ref 0 in
-        while !written < len do
-          written :=
-            !written + Unix.write_substring fd payload !written (len - !written)
-        done;
-        (* Read until n newline-terminated responses (or EOF, which is a
-           protocol violation the caller should see). *)
-        let buf = Buffer.create 4096 in
-        let chunk = Bytes.create 65536 in
-        let newlines () =
-          let s = Buffer.contents buf in
-          let c = ref 0 in
-          String.iter (fun ch -> if ch = '\n' then incr c) s;
-          !c
-        in
-        let rec fill () =
-          if newlines () < n then
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 ->
+        (* One send so the server sees the whole run as one pipelined
+           batch. *)
+        Transport.send conn lines;
+        let rec collect acc k =
+          if k = 0 then List.rev acc
+          else
+            match Transport.recv conn with
+            | Some r -> collect (r :: acc) (k - 1)
+            | None ->
               failwith
                 (Printf.sprintf
                    "Serve.Client: connection closed after %d of %d responses"
-                   (newlines ()) n)
-            | k ->
-              Buffer.add_subbytes buf chunk 0 k;
-              fill ()
+                   (n - k) n)
         in
-        fill ();
-        let all = String.split_on_char '\n' (Buffer.contents buf) in
-        List.filteri (fun i _ -> i < n) all)
+        collect [] n)
   end
 
-let call_retry ~socket ?(attempts = 40) ?(delay_s = 0.05) lines =
+let call_retry ~addr ?(attempts = 40) ?(delay_s = 0.05) lines =
   let rec go k =
-    match call ~socket lines with
+    match call ~addr lines with
     | r -> r
-    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when k > 1 ->
       Unix.sleepf delay_s;
       go (k - 1)

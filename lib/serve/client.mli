@@ -1,15 +1,21 @@
 (** Minimal blocking client for the service protocol, used by the CLI's
-    [call] subcommand, the CI smoke step and the test suite. *)
+    [call] subcommand, the CI smoke step and the test suite. Framing
+    follows the address: newline-delimited on Unix sockets,
+    length-prefixed on TCP (see {!Transport}). *)
 
-(** [call ~socket lines] connects to the daemon, sends every request
-    line in one write (so the server sees them as one pipelined batch),
-    and returns one response line per request, in order. Raises
+(** [call ~addr lines] connects to the daemon, sends every request in
+    one write (so the server sees them as one pipelined batch), and
+    returns one response per request, in order. Raises
     [Unix.Unix_error] when the daemon is not listening and [Failure]
     when the connection closes before every response arrived. *)
-val call : socket:string -> string list -> string list
+val call : addr:Transport.addr -> string list -> string list
 
-(** [call_retry ~socket ?attempts ?delay_s lines] — {!call}, retrying
+(** [call_retry ~addr ?attempts ?delay_s lines] — {!call}, retrying
     refused connections (daemon still starting) with a fixed delay
     (defaults: 40 attempts, 0.05 s). *)
 val call_retry :
-  socket:string -> ?attempts:int -> ?delay_s:float -> string list -> string list
+  addr:Transport.addr ->
+  ?attempts:int ->
+  ?delay_s:float ->
+  string list ->
+  string list

@@ -1,3 +1,9 @@
+(* Protocol history: 1 = PR 6 (newline JSON over a Unix socket, no
+   version field); 2 = this PR (responses carry "proto", servers reject
+   requests claiming a newer version). Absence of "proto" in a request
+   means 1, so v1 clients keep working unchanged. *)
+let version = 2
+
 type op = Compile | Verify | Simulate | Stats | Shutdown
 
 let op_name = function
@@ -17,6 +23,7 @@ let op_of_string = function
 
 type request = {
   op : op;
+  proto : int;
   id : Json.t;
   bench : string option;
   qasm3 : string option;
@@ -78,6 +85,12 @@ let of_line line =
     | None -> Error "missing \"op\" field"
   in
   let* op = op_of_string op_s in
+  let* proto =
+    match Json.member "proto" j with
+    | None -> Ok 1
+    | Some (Json.Int n) when n >= 1 -> Ok n
+    | Some _ -> Error "field \"proto\" must be a positive integer"
+  in
   let id = Option.value ~default:Json.Null (Json.member "id" j) in
   let* bench = opt_string "bench" j in
   let* qasm3 = opt_string "qasm3" j in
@@ -114,6 +127,7 @@ let of_line line =
   Ok
     {
       op;
+      proto;
       id;
       bench;
       qasm3;
@@ -136,7 +150,12 @@ let error_body (e : Guard.Error.t) =
       ("recoverable", Json.Bool e.Guard.Error.recoverable);
     ]
 
-let response ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
+(* "proto" sits between "id" and the payload fields so the "result"
+   object — the byte-identical cache unit — is untouched by version
+   bumps. *)
+let response ~id fields =
+  Json.to_string
+    (Json.Obj (("id", id) :: ("proto", Json.Int version) :: fields))
 
 let error_response ~id e =
   response ~id [ ("ok", Json.Bool false); ("error", error_body e) ]

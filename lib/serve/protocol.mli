@@ -1,10 +1,12 @@
-(** The service wire protocol: one JSON object per line, one response
-    line per request, over a Unix-domain socket.
+(** The service wire protocol: one JSON object per message, one
+    response message per request, over either {!Transport} (newline
+    framing on Unix sockets, length-prefixed on TCP).
 
     Request shape (fields beyond [op] are optional unless noted):
 
     {v
     {"op":"compile"|"verify"|"simulate"|"stats"|"shutdown",
+     "proto": <int>,                   -- protocol version (default 1)
      "id": <any JSON, echoed back>,
      "bench": "<benchmark name>",      -- XOR bench registry, or
      "qasm3": "<OpenQASM 3 source>",   -- an inline circuit
@@ -18,10 +20,21 @@
      "no_cache": true}                 -- bypass the cache
     v}
 
-    Responses are [{"id":..,"ok":true,"op":..,"cache":"hit"|"miss"|"none",
-    "result":{..}}] or [{"id":..,"ok":false,"error":{"stage":..,"site":..,
-    "detail":..,"recoverable":..}}]. The [result] object is the cached
-    unit: a cache hit replays it byte-identically. *)
+    Responses are [{"id":..,"proto":2,"ok":true,"op":..,
+    "cache":"hit"|"miss"|"none","result":{..}}] or [{"id":..,"proto":2,
+    "ok":false,"error":{"stage":..,"site":..,"detail":..,
+    "recoverable":..}}]. The [result] object is the cached unit: a
+    cache hit replays it byte-identically — and version bumps only ever
+    add top-level fields, never touch [result].
+
+    Versioning: requests without ["proto"] are version 1 (every PR 6
+    client); the server answers any [proto <= version] request and
+    rejects newer ones with a structured error (stage
+    ["serve.protocol"], site ["request.version"]) so a too-new client
+    fails loudly instead of mis-parsing. *)
+
+(** The protocol version this build speaks (2). *)
+val version : int
 
 type op = Compile | Verify | Simulate | Stats | Shutdown
 
@@ -29,6 +42,7 @@ val op_name : op -> string
 
 type request = {
   op : op;
+  proto : int;  (** claimed protocol version; 1 when absent *)
   id : Json.t;  (** echoed back verbatim; [Null] when absent *)
   bench : string option;
   qasm3 : string option;

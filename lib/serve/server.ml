@@ -1,8 +1,11 @@
 type config = {
-  socket : string;
+  addr : Transport.addr;
   jobs : int;
+  handler_domains : int;
+  max_inflight : int;
   mem_capacity : int;
   cache_dir : string option;
+  disk_budget_bytes : int option;
   default_deadline_ms : int option;
   max_deadline_ms : int option;
   max_batch : int;
@@ -11,10 +14,13 @@ type config = {
 
 let default_config =
   {
-    socket = "caqr.sock";
+    addr = Transport.Unix "caqr.sock";
     jobs = 1;
+    handler_domains = 4;
+    max_inflight = 0;
     mem_capacity = 256;
     cache_dir = None;
+    disk_budget_bytes = None;
     default_deadline_ms = None;
     max_deadline_ms = None;
     max_batch = 64;
@@ -24,6 +30,7 @@ let default_config =
 type t = {
   config : config;
   cache : Cache.t;
+  gate : Guard.Gate.t;
   requests : int Atomic.t;
   started : float;
 }
@@ -34,15 +41,22 @@ let create config =
       {
         config with
         jobs = max 1 config.jobs;
+        handler_domains = max 1 config.handler_domains;
         max_batch = max 1 config.max_batch;
         max_request_bytes = max 1024 config.max_request_bytes;
       };
-    cache = Cache.create ~mem_capacity:config.mem_capacity ?dir:config.cache_dir ();
+    cache =
+      Cache.create ~mem_capacity:config.mem_capacity ?dir:config.cache_dir
+        ?disk_budget_bytes:config.disk_budget_bytes ();
+    gate =
+      Guard.Gate.create ~reject_metric:"serve.rejected.overload"
+        ~limit:config.max_inflight ();
     requests = Atomic.make 0;
     started = Unix.gettimeofday ();
   }
 
 let cache t = t.cache
+let gate t = t.gate
 
 let usage_error ~site fmt =
   Printf.ksprintf
@@ -115,8 +129,8 @@ let fingerprint options (req : Protocol.request) =
   | Protocol.Simulate -> Printf.sprintf ";shots=%d;sim_seed=%d" req.shots req.seed
   | _ -> ""
 
-(* Admission control half two: the request's deadline is clamped to the
-   server's cap; requests without one get the server default. *)
+(* Admission control: the request's deadline is clamped to the server's
+   cap; requests without one get the server default. *)
 let effective_deadline t (req : Protocol.request) =
   let requested =
     match req.deadline_ms with
@@ -271,8 +285,12 @@ let stats_response t (req : Protocol.request) =
     Json.Obj
       [
         ("engine", Json.String Caqr.Version.engine);
+        ("proto", Json.Int Protocol.version);
+        ("addr", Json.String (Transport.addr_to_string t.config.addr));
         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
         ("requests", Json.Int (Atomic.get t.requests));
+        ("inflight", Json.Int (Guard.Gate.inflight t.gate));
+        ("max_inflight", Json.Int (Guard.Gate.limit t.gate));
         ( "cache",
           Json.Obj
             (List.map (fun (k, v) -> (k, Json.Int v)) (Cache.stats t.cache)) );
@@ -285,6 +303,12 @@ let stats_response t (req : Protocol.request) =
       ("op", Json.String "stats");
       ("result", Json.Raw (Json.to_string result));
     ]
+
+let overloaded_error t =
+  Guard.Error.v ~recoverable:true ~stage:"serve.admission"
+    ~site:"request.overload"
+    (Printf.sprintf "server at max_inflight=%d, retry later"
+       (Guard.Gate.limit t.gate))
 
 let handle_line t line =
   Obs.Metrics.incr "serve.requests";
@@ -301,6 +325,14 @@ let handle_line t line =
       ( Protocol.error_response ~id:Json.Null
           (Guard.Error.v ~stage:"serve.protocol" ~site:"request.parse" msg),
         false )
+    | Ok req when req.Protocol.proto > Protocol.version ->
+      (* A client from the future: fail loudly (it can downgrade its
+         request) rather than answer with semantics it may mis-parse. *)
+      ( Protocol.error_response ~id:req.Protocol.id
+          (Guard.Error.v ~stage:"serve.protocol" ~site:"request.version"
+             (Printf.sprintf "request speaks proto %d, this server speaks %d"
+                req.Protocol.proto Protocol.version)),
+        false )
     | Ok req ->
       Obs.Metrics.incr ("serve.op." ^ Protocol.op_name req.op);
       (match req.op with
@@ -314,10 +346,16 @@ let handle_line t line =
            true )
        | Protocol.Stats -> (stats_response t req, false)
        | Protocol.Compile | Protocol.Verify | Protocol.Simulate ->
-         (handle_work t req, false))
+         (* Work verbs pass the admission gate; stats and shutdown stay
+            answerable under overload so operators can see why and stop
+            the daemon. Rejection is immediate — load sheds instead of
+            queueing unboundedly. *)
+         (match Guard.Gate.with_slot t.gate (fun () -> handle_work t req) with
+          | Some response -> (response, false)
+          | None -> (Protocol.error_response ~id:req.id (overloaded_error t), false)))
 
 (* handle_line never raises and touches only domain-safe state (cache
-   mutex, atomics, metrics), so a pipelined batch fans out as-is. *)
+   mutex, gate atomic, metrics), so a pipelined batch fans out as-is. *)
 let handle_batch t lines =
   let n = List.length lines in
   if n = 0 then ([], false)
@@ -331,101 +369,60 @@ let handle_batch t lines =
     (List.map fst results, List.exists snd results)
   end
 
-(* ---- the socket loop ---- *)
+(* ---- the serving loop ---- *)
 
-(* One connection: a buffered line reader that batches. The first read
-   blocks; everything already queued behind it drains without blocking,
-   and that pipelined run — capped at max_batch — is the batch handed to
-   the pool. *)
-let serve_conn t stop fd =
-  let chunk_size = 65536 in
-  let chunk = Bytes.create chunk_size in
-  let pending = Buffer.create 4096 in
-  let queue = Queue.create () in
-  let eof = ref false in
-  (* Move complete lines out of [pending] into [queue]. *)
-  let split_pending () =
-    let s = Buffer.contents pending in
-    match String.rindex_opt s '\n' with
-    | None -> ()
-    | Some last ->
-      String.split_on_char '\n' (String.sub s 0 last)
-      |> List.iter (fun l -> Queue.add l queue);
-      Buffer.clear pending;
-      Buffer.add_string pending
-        (String.sub s (last + 1) (String.length s - last - 1))
-  in
-  let read_once () =
-    match Unix.read fd chunk 0 chunk_size with
-    | 0 -> eof := true
-    | n -> Buffer.add_subbytes pending chunk 0 n
-    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      eof := true
-  in
-  let readable_now () =
-    match Unix.select [ fd ] [] [] 0.0 with
-    | [ _ ], _, _ -> true
-    | _ -> false
-  in
-  let rec fill () =
-    if Queue.is_empty queue && not !eof then begin
-      read_once ();
-      split_pending ();
-      fill ()
-    end
-    else if (not !eof) && readable_now () then begin
-      (* Drain what the client already pipelined — this is the batch. *)
-      read_once ();
-      split_pending ();
-      if (not !eof) && readable_now () then fill ()
-    end
-  in
-  let take_batch () =
-    fill ();
-    let rec take acc k =
-      if k = 0 || Queue.is_empty queue then List.rev acc
-      else take (Queue.pop queue :: acc) (k - 1)
-    in
-    take [] t.config.max_batch
-  in
-  let send lines =
-    let payload = String.concat "\n" lines ^ "\n" in
-    let len = String.length payload in
-    let written = ref 0 in
-    (try
-       while !written < len do
-         written :=
-           !written + Unix.write_substring fd payload !written (len - !written)
-       done
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> eof := true)
-  in
+(* How often blocked handler domains and the acceptor wake up to check
+   the stop flag. Bounds shutdown latency; invisible otherwise. *)
+let poll_interval_s = 0.25
+let accept_interval_s = 0.05
+
+(* One connection, owned by one handler domain. recv_batch waits for a
+   request, then drains whatever the client already pipelined — capped
+   at max_batch — and that run is the batch handed to the pool. The
+   timeout is the stop-flag poll: a shutdown elsewhere ends every idle
+   connection within poll_interval_s. *)
+let serve_conn t stop conn =
+  Obs.Metrics.incr "serve.connections";
   let rec loop () =
-    match take_batch () with
-    | [] -> ()
-    | batch ->
-      let responses, stop' = handle_batch t batch in
-      send responses;
-      if stop' then stop := true else loop ()
+    if not (Atomic.get stop) then
+      match
+        Transport.recv_batch ~timeout_s:poll_interval_s
+          ~max:t.config.max_batch conn
+      with
+      | Transport.Eof -> ()
+      | Transport.Timeout -> loop ()
+      | Transport.Msgs batch ->
+        let responses, stop' = handle_batch t batch in
+        Transport.send conn responses;
+        if stop' then Atomic.set stop true else loop ()
   in
   loop ()
 
-let run t =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (* Replace a stale socket file from a previous run; a live server on
-     the same path loses it, which is the standard Unix-socket bargain. *)
-  (try Unix.unlink t.config.socket with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX t.config.socket);
-  Unix.listen sock 64;
-  let stop = ref false in
+let run ?ready t =
+  let listener = Transport.bind t.config.addr in
+  let stop = Atomic.make false in
+  (* Handler domains each own whole connections; requests inside one
+     connection still batch over Exec.Pool. Every mutable thing a
+     handler touches — cache, gate, metrics, the stop flag — is
+     domain-safe, so connections are independent up to cache timing,
+     and responses stay content-addressed either way. *)
+  let crew =
+    Exec.Crew.create ~domains:t.config.handler_domains (fun conn ->
+        Fun.protect
+          ~finally:(fun () -> Transport.close conn)
+          (fun () -> serve_conn t stop conn))
+  in
+  (match ready with
+  | Some f -> f (Transport.bound_addr listener)
+  | None -> ());
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink t.config.socket with Unix.Unix_error _ -> ())
+      Exec.Crew.join crew;
+      Transport.close_listener listener)
     (fun () ->
-      while not !stop do
-        let client, _ = Unix.accept sock in
-        Fun.protect
-          ~finally:(fun () ->
-            try Unix.close client with Unix.Unix_error _ -> ())
-          (fun () -> serve_conn t stop client)
+      while not (Atomic.get stop) do
+        match Transport.accept ~timeout_s:accept_interval_s listener with
+        | Some conn ->
+          if not (Exec.Crew.submit crew conn) then Transport.close conn
+        | None -> ()
       done)

@@ -1,45 +1,65 @@
-(** The compilation service: a long-lived daemon answering
-    newline-delimited JSON requests (see {!Protocol}) over a Unix-domain
-    socket, batching pipelined requests onto {!Exec.Pool} and answering
-    repeats from the content-addressed {!Cache}.
+(** The compilation service: a long-lived daemon answering JSON
+    requests (see {!Protocol}) over a {!Transport} address — Unix
+    socket or TCP — with a fixed crew of connection-handler domains,
+    batching pipelined requests onto {!Exec.Pool} and answering repeats
+    from the content-addressed {!Cache}.
 
     Design invariants:
 
     - {b Re-entrant}: every request compiles with its own
       [Pipeline.options]; nothing request-scoped touches process
       globals. Per-request deadlines are scoped {!Guard.Budget} values,
-      so two requests running on different pool domains cannot clobber
-      each other's budget.
+      so two requests running on different domains cannot clobber each
+      other's budget.
     - {b Isolated failure}: request handling is wrapped in
       {!Guard.Error.protect}; a failing request (including a
       [Budget_exceeded] deadline trip) produces one structured error
-      response and the daemon keeps serving.
+      response and the daemon keeps serving. A handler-domain exception
+      is contained by {!Exec.Crew} — one broken connection cannot take
+      the daemon down.
     - {b Deterministic responses}: the [result] object of a [compile] /
       [verify] / [simulate] response is a pure function of (circuit
       digest, options fingerprint, engine version) — exactly the cache
-      key — so a cache hit is byte-identical to the cold computation.
-      Reports that only exist by grace of the degradation ladder
-      ([degraded] non-empty) are never cached.
-    - {b Admission control}: oversized request lines are rejected with a
-      structured error before parsing; per-request deadlines are capped
-      by [max_deadline_ms]; one dispatch batches at most [max_batch]
-      requests. *)
+      key — so a cache hit is byte-identical to the cold computation,
+      and N clients interleaved arbitrarily read the same bytes a
+      sequential replay would. Reports that only exist by grace of the
+      degradation ladder ([degraded] non-empty) are never cached.
+    - {b Admission control}: oversized request lines are rejected with
+      a structured error before parsing; requests claiming a protocol
+      version newer than {!Protocol.version} are rejected (stage
+      ["serve.protocol"], site ["request.version"]); per-request
+      deadlines are capped by [max_deadline_ms]; one dispatch batches
+      at most [max_batch] requests.
+    - {b Back-pressure}: at most [max_inflight] work requests
+      ([compile]/[verify]/[simulate]) run at once, enforced by a
+      {!Guard.Gate}. Past the limit the daemon answers immediately with
+      a structured, [recoverable] error (stage ["serve.admission"],
+      site ["request.overload"]) and bumps
+      ["serve.rejected.overload"] — load sheds instead of queueing
+      unboundedly. [stats] and [shutdown] bypass the gate so an
+      overloaded daemon can still be inspected and stopped. *)
 
 type config = {
-  socket : string;  (** Unix-domain socket path *)
+  addr : Transport.addr;  (** where to listen; framing follows *)
   jobs : int;  (** pool domains for batch dispatch *)
+  handler_domains : int;  (** crew size: concurrent connections served *)
+  max_inflight : int;
+      (** work requests admitted at once; [<= 0] = unlimited *)
   mem_capacity : int;  (** in-memory cache entries (LRU) *)
   cache_dir : string option;  (** on-disk cache tier root *)
+  disk_budget_bytes : int option;
+      (** byte cap on the disk cache tier; [None] = unbounded *)
   default_deadline_ms : int option;
       (** budget for requests that carry none *)
   max_deadline_ms : int option;
       (** admission cap: requested deadlines are clamped to this *)
   max_batch : int;  (** most requests dispatched in one pool batch *)
-  max_request_bytes : int;  (** admission cap on one request line *)
+  max_request_bytes : int;  (** admission cap on one request message *)
 }
 
-(** [socket = "caqr.sock"], [jobs = 1], [mem_capacity = 256], no disk
-    tier, no deadlines, [max_batch = 64],
+(** [addr = Unix "caqr.sock"], [jobs = 1], [handler_domains = 4],
+    [max_inflight = 0] (unlimited), [mem_capacity = 256], no disk tier,
+    no disk budget, no deadlines, [max_batch = 64],
     [max_request_bytes = 10_000_000]. *)
 val default_config : config
 
@@ -50,18 +70,25 @@ val create : config -> t
 (** The server's cache, exposed for the [stats] verb and tests. *)
 val cache : t -> Cache.t
 
-(** [handle_line t line] maps one request line to one response line
-    (no trailing newline) and whether the daemon should stop — the
-    socket-free core, also the unit-test surface. Never raises. *)
+(** The admission gate in front of the work verbs. Exposed so tests can
+    occupy slots and observe deterministic overload rejection. *)
+val gate : t -> Guard.Gate.t
+
+(** [handle_line t line] maps one request message to one response
+    message and whether the daemon should stop — the transport-free
+    core, also the unit-test surface. Never raises. *)
 val handle_line : t -> string -> string * bool
 
-(** [handle_batch t lines] handles a batch of pipelined request lines,
-    fanning them over [config.jobs] pool domains. Responses come back
-    in request order; the stop flag is the disjunction. *)
+(** [handle_batch t lines] handles a batch of pipelined request
+    messages, fanning them over [config.jobs] pool domains. Responses
+    come back in request order; the stop flag is the disjunction. *)
 val handle_batch : t -> string list -> string list * bool
 
-(** [run t] binds the socket (replacing a stale socket file), serves
-    connections sequentially — batching whatever pipelined lines each
-    read delivers — and returns after a [shutdown] request, removing
-    the socket file. *)
-val run : t -> unit
+(** [run ?ready t] binds [config.addr] and serves until a [shutdown]
+    request: a fixed crew of [handler_domains] domains each owns whole
+    connections while the main domain accepts. [ready] (used by tests
+    and the CLI's startup message) receives the bound address once
+    listening — for [tcp:HOST:0] that includes the real port. Returns
+    after all handler domains have drained; Unix listeners remove their
+    socket file. *)
+val run : ?ready:(Transport.addr -> unit) -> t -> unit

@@ -267,6 +267,42 @@ let test_executor_determinism () =
   check int "totals preserved" 1300
     (List.fold_left (fun acc (_, n) -> acc + n) 0 reference)
 
+(* ---- Exec.Crew: long-running workers over a closable queue ---- *)
+
+let test_crew_processes_all_jobs () =
+  let processed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let crew =
+    Exec.Crew.create ~domains:3 (fun n ->
+        Atomic.incr processed;
+        ignore (Atomic.fetch_and_add sum n))
+  in
+  let jobs = List.init 50 (fun i -> i + 1) in
+  List.iter (fun n -> Alcotest.check bool "accepted" true (Exec.Crew.submit crew n)) jobs;
+  Exec.Crew.join crew;
+  check int "every job handled exactly once" 50 (Atomic.get processed);
+  check int "no job lost or duplicated" (50 * 51 / 2) (Atomic.get sum)
+
+let test_crew_close_stops_intake () =
+  let crew = Exec.Crew.create ~domains:1 (fun () -> ()) in
+  Exec.Crew.close crew;
+  Exec.Crew.close crew;
+  Alcotest.check bool "submit after close refused" false
+    (Exec.Crew.submit crew ());
+  Exec.Crew.join crew
+
+let test_crew_survives_handler_exception () =
+  let processed = Atomic.make 0 in
+  let crew =
+    Exec.Crew.create ~domains:2 (fun n ->
+        if n = 13 then failwith "poisoned job";
+        Atomic.incr processed)
+  in
+  List.iter (fun n -> ignore (Exec.Crew.submit crew n)) (List.init 20 Fun.id);
+  Exec.Crew.join crew;
+  (* One job raised; the other 19 must still be handled. *)
+  check int "workers outlive a handler exception" 19 (Atomic.get processed)
+
 let () =
   Alcotest.run "exec"
     [
@@ -281,6 +317,15 @@ let () =
           Alcotest.test_case "transient fault retried" `Quick test_transient_fault_retried;
           Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
           Alcotest.test_case "seeded streams stable" `Quick test_seeded_streams_stable;
+        ] );
+      ( "crew",
+        [
+          Alcotest.test_case "all jobs processed" `Quick
+            test_crew_processes_all_jobs;
+          Alcotest.test_case "close stops intake" `Quick
+            test_crew_close_stops_intake;
+          Alcotest.test_case "survives handler exception" `Quick
+            test_crew_survives_handler_exception;
         ] );
       ( "determinism",
         [

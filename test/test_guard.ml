@@ -359,6 +359,54 @@ let test_chaos_deterministic () =
   let b = render (Fuzz.Chaos.run ~seed:1 (chaos_benches ())) in
   check string "same seed, same matrix" a b
 
+(* ---- Guard.Gate: bounded-concurrency admission ---- *)
+
+let test_gate_limit () =
+  let g = Guard.Gate.create ~limit:2 () in
+  check int "configured limit" 2 (Guard.Gate.limit g);
+  check bool "first slot" true (Guard.Gate.try_enter g);
+  check bool "second slot" true (Guard.Gate.try_enter g);
+  check int "both inflight" 2 (Guard.Gate.inflight g);
+  check bool "third rejected, not blocked" false (Guard.Gate.try_enter g);
+  Guard.Gate.leave g;
+  check bool "released slot re-admits" true (Guard.Gate.try_enter g);
+  Guard.Gate.leave g;
+  Guard.Gate.leave g;
+  check int "drained" 0 (Guard.Gate.inflight g)
+
+let test_gate_unlimited () =
+  let g = Guard.Gate.create ~limit:0 () in
+  let ok = List.init 100 (fun _ -> Guard.Gate.try_enter g) in
+  check bool "limit 0 always admits" true (List.for_all Fun.id ok);
+  check int "occupancy still counted" 100 (Guard.Gate.inflight g)
+
+let test_gate_with_slot () =
+  let g = Guard.Gate.create ~limit:1 () in
+  (match Guard.Gate.with_slot g (fun () -> Guard.Gate.inflight g) with
+  | Some n -> check int "slot held inside" 1 n
+  | None -> Alcotest.fail "empty gate must admit");
+  check int "slot released on exit" 0 (Guard.Gate.inflight g);
+  (* ... including the exceptional exit. *)
+  (try
+     ignore (Guard.Gate.with_slot g (fun () -> failwith "boom"));
+     Alcotest.fail "exception must propagate"
+   with Failure _ -> ());
+  check int "slot released on exception" 0 (Guard.Gate.inflight g);
+  check bool "full gate answers None" true
+    (Guard.Gate.try_enter g
+    && Guard.Gate.with_slot g (fun () -> ()) = None)
+
+let test_gate_rejection_metric () =
+  let g = Guard.Gate.create ~reject_metric:"test.gate.reject" ~limit:1 () in
+  ignore (Guard.Gate.try_enter g);
+  ignore (Guard.Gate.try_enter g);
+  ignore (Guard.Gate.try_enter g);
+  let s = Obs.Metrics.snapshot () in
+  check bool "each rejection counted" true
+    (List.exists
+       (fun (k, v) -> k = "test.gate.reject" && v >= 2)
+       s.Obs.Metrics.counters)
+
 let () =
   Alcotest.run "guard"
     [
@@ -395,6 +443,14 @@ let () =
             test_scoped_current_carries;
           Alcotest.test_case "pool propagation" `Quick
             test_scoped_pool_propagation;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "limit semantics" `Quick test_gate_limit;
+          Alcotest.test_case "unlimited" `Quick test_gate_unlimited;
+          Alcotest.test_case "with_slot" `Quick test_gate_with_slot;
+          Alcotest.test_case "rejection metric" `Quick
+            test_gate_rejection_metric;
         ] );
       ( "inject",
         [

@@ -73,9 +73,22 @@ let test_reset () =
   check int "no counters" 0 (List.length s.M.counters);
   check int "no timings" 0 (List.length s.M.timings)
 
+let test_gauge_basics () =
+  M.reset ();
+  check int "unset gauge is 0" 0 (M.gauge "g.never");
+  M.set_gauge "g.level" 7;
+  check int "set" 7 (M.gauge "g.level");
+  M.set_gauge "g.level" 3;
+  check int "last write wins (can go down)" 3 (M.gauge "g.level");
+  check int "snapshot carries it" 3
+    (List.assoc "g.level" (M.snapshot ()).M.gauges);
+  M.reset ();
+  check int "reset clears gauges" 0 (M.gauge "g.level")
+
 let test_to_json () =
   M.reset ();
   M.incr ~by:3 "t.j";
+  M.set_gauge "g.j" 9;
   M.add_time "time.j" 0.125;
   let j = M.to_json (M.snapshot ()) in
   let has needle =
@@ -84,8 +97,10 @@ let test_to_json () =
     go 0
   in
   check bool "counters object" true (has "\"counters\"");
+  check bool "gauges object" true (has "\"gauges\"");
   check bool "timings object" true (has "\"timings_s\"");
   check bool "counter value" true (has "\"t.j\":3");
+  check bool "gauge value" true (has "\"g.j\":9");
   check bool "timer key" true (has "\"time.j\"")
 
 let test_to_json_stable_order () =
@@ -95,18 +110,20 @@ let test_to_json_stable_order () =
   M.reset ();
   M.incr ~by:2 "t.zz";
   M.incr "t.aa";
+  M.set_gauge "g.x" 4;
   M.add_time "time.x" 0.5;
   check Alcotest.string "exact serialized form"
-    {|{"counters":{"t.aa":1,"t.zz":2},"timings_s":{"time.x":0.500000}}|}
+    {|{"counters":{"t.aa":1,"t.zz":2},"gauges":{"g.x":4},"timings_s":{"time.x":0.500000}}|}
     (M.to_json (M.snapshot ()));
   (* Insertion order must not leak: bumping in the other order renders
      the same bytes. *)
   M.reset ();
   M.add_time "time.x" 0.5;
+  M.set_gauge "g.x" 4;
   M.incr ~by:2 "t.zz";
   M.incr "t.aa";
   check Alcotest.string "independent of insertion order"
-    {|{"counters":{"t.aa":1,"t.zz":2},"timings_s":{"time.x":0.500000}}|}
+    {|{"counters":{"t.aa":1,"t.zz":2},"gauges":{"g.x":4},"timings_s":{"time.x":0.500000}}|}
     (M.to_json (M.snapshot ()))
 
 let () =
@@ -115,6 +132,7 @@ let () =
       ( "counters",
         [
           Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauges" `Quick test_gauge_basics;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "timers",

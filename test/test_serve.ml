@@ -503,42 +503,328 @@ let test_handler_batch_order () =
   in
   check bool "stop flag is the disjunction" true stop
 
-(* ---- end to end over a real socket ---- *)
+(* ---- Serve.Transport: address grammar and framing ---- *)
 
-let test_socket_end_to_end () =
-  let dir = fresh_dir "sock" in
-  let socket = Filename.concat dir "caqr.sock" in
-  let config =
-    {
-      Serve.Server.default_config with
-      socket;
-      cache_dir = Some (Filename.concat dir "cache");
-    }
+module T = Serve.Transport
+
+let test_addr_grammar () =
+  check bool "bare path is a unix socket" true
+    (T.addr_of_string "/tmp/x.sock" = Ok (T.Unix "/tmp/x.sock"));
+  check bool "unix: scheme" true
+    (T.addr_of_string "unix:/tmp/x.sock" = Ok (T.Unix "/tmp/x.sock"));
+  check bool "tcp: scheme" true
+    (T.addr_of_string "tcp:127.0.0.1:7391" = Ok (T.Tcp ("127.0.0.1", 7391)));
+  check bool "tcp port 0 allowed" true
+    (T.addr_of_string "tcp:localhost:0" = Ok (T.Tcp ("localhost", 0)));
+  let rejected s =
+    match T.addr_of_string s with Error _ -> true | Ok _ -> false
   in
+  check bool "empty rejected" true (rejected "");
+  check bool "unknown scheme rejected" true (rejected "udp:1.2.3.4:1");
+  check bool "missing port rejected" true (rejected "tcp:127.0.0.1");
+  check bool "bad port rejected" true (rejected "tcp:127.0.0.1:http");
+  check bool "out-of-range port rejected" true (rejected "tcp:127.0.0.1:70000");
+  check bool "empty unix path rejected" true (rejected "unix:");
+  (* to_string is the parseable canonical spelling. *)
+  List.iter
+    (fun a ->
+      check bool
+        ("round-trip " ^ T.addr_to_string a)
+        true
+        (T.addr_of_string (T.addr_to_string a) = Ok a))
+    [ T.Unix "/tmp/x.sock"; T.Tcp ("127.0.0.1", 7391) ];
+  check bool "framing follows transport" true
+    (T.framing_of_addr (T.Unix "p") = T.Newline
+    && T.framing_of_addr (T.Tcp ("h", 1)) = T.Length_prefixed)
+
+(* One loopback pair: messages with embedded newlines — fatal to the
+   Unix-socket framing — round-trip untouched through length-prefixed
+   TCP frames. *)
+let test_tcp_framing_roundtrip () =
+  let listener = T.bind (T.Tcp ("127.0.0.1", 0)) in
+  Fun.protect
+    ~finally:(fun () -> T.close_listener listener)
+    (fun () ->
+      let client = T.connect (T.bound_addr listener) in
+      let server =
+        match T.accept ~timeout_s:5.0 listener with
+        | Some c -> c
+        | None -> Alcotest.fail "accept timed out"
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          T.close client;
+          T.close server)
+        (fun () ->
+          let messages =
+            [ "plain"; "two\nlines\n"; ""; String.make 70000 'x' ]
+          in
+          T.send client messages;
+          List.iter
+            (fun expected ->
+              match T.recv server with
+              | Some got -> check string "framed message intact" expected got
+              | None -> Alcotest.fail "eof before all messages")
+            messages;
+          (* And back, as one pipelined batch. *)
+          T.send server messages;
+          (match T.recv_batch ~timeout_s:5.0 ~max:10 client with
+          | T.Msgs got ->
+            check int "batch drains the pipeline" (List.length messages)
+              (List.length got);
+            List.iter2 (fun e g -> check string "batched intact" e g) messages
+              got
+          | T.Eof | T.Timeout -> Alcotest.fail "expected a batch")))
+
+let test_newline_framing_rejects_embedded_newline () =
+  let dir = fresh_dir "frame" in
+  let path = Filename.concat dir "t.sock" in
+  let listener = T.bind (T.Unix path) in
+  Fun.protect
+    ~finally:(fun () -> T.close_listener listener)
+    (fun () ->
+      let client = T.connect (T.Unix path) in
+      Fun.protect
+        ~finally:(fun () -> T.close client)
+        (fun () ->
+          match T.send client [ "a\nb" ] with
+          | () -> Alcotest.fail "embedded newline must be rejected"
+          | exception Invalid_argument _ -> ()))
+
+(* ---- end to end over real transports ---- *)
+
+let run_daemon config =
   let t = Serve.Server.create config in
-  let daemon = Domain.spawn (fun () -> Serve.Server.run t) in
+  let bound = Atomic.make None in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Server.run t ~ready:(fun a -> Atomic.set bound (Some a)))
+  in
+  let rec await k =
+    match Atomic.get bound with
+    | Some a -> a
+    | None when k > 0 ->
+      Unix.sleepf 0.01;
+      await (k - 1)
+    | None -> Alcotest.fail "daemon never became ready"
+  in
+  (t, daemon, await 500)
+
+let shutdown_daemon ~addr daemon =
+  (match Serve.Client.call ~addr [ {|{"op":"shutdown"}|} ] with
+  | [ bye ] -> check bool "clean shutdown" true (contains bye "\"ok\":true")
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
+  Domain.join daemon
+
+let end_to_end addr_of_dir =
+  let dir = fresh_dir "e2e" in
+  let addr = addr_of_dir dir in
+  let _t, daemon, addr =
+    run_daemon
+      {
+        Serve.Server.default_config with
+        addr;
+        cache_dir = Some (Filename.concat dir "cache");
+      }
+  in
   let compile = {|{"id":1,"op":"compile","bench":"BV_10","strategy":"sr"}|} in
-  (match Serve.Client.call_retry ~socket [ compile ] with
+  (match Serve.Client.call_retry ~addr [ compile ] with
   | [ cold ] ->
-    check bool "cold compile over the socket" true
+    check bool "cold compile over the wire" true
       (contains cold "\"ok\":true" && contains cold "\"cache\":\"miss\"");
+    check bool "response carries proto 2" true (contains cold "\"proto\":2");
     (* One pipelined connection: repeat + stats arrive as a batch. *)
-    (match Serve.Client.call ~socket [ compile; {|{"id":2,"op":"stats"}|} ] with
+    (match Serve.Client.call ~addr [ compile; {|{"id":2,"op":"stats"}|} ] with
     | [ warm; stats ] ->
       check bool "warm compile hits" true (contains warm "\"cache\":\"hit\"");
-      check string "socket replay is byte-identical" (result_part cold)
+      check string "replay is byte-identical" (result_part cold)
         (result_part warm);
-      check bool "stats over the socket" true (contains stats "\"counters\"")
+      check bool "stats over the wire" true (contains stats "\"counters\"")
     | other ->
       Alcotest.failf "expected 2 responses, got %d" (List.length other))
   | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
-  (match Serve.Client.call ~socket [ {|{"op":"shutdown"}|} ] with
-  | [ bye ] -> check bool "clean shutdown" true (contains bye "\"ok\":true")
-  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
-  Domain.join daemon;
-  check bool "socket file removed on exit" false (Sys.file_exists socket);
+  shutdown_daemon ~addr daemon;
   check bool "disk tier populated" true
-    (Sys.file_exists (Filename.concat dir "cache"))
+    (Sys.file_exists (Filename.concat dir "cache"));
+  addr
+
+let test_socket_end_to_end () =
+  let socket = ref "" in
+  let _ =
+    end_to_end (fun dir ->
+        socket := Filename.concat dir "caqr.sock";
+        T.Unix !socket)
+  in
+  check bool "socket file removed on exit" false (Sys.file_exists !socket)
+
+let test_tcp_end_to_end () =
+  match end_to_end (fun _dir -> T.Tcp ("127.0.0.1", 0)) with
+  | T.Tcp (_, port) -> check bool "ephemeral port resolved" true (port > 0)
+  | T.Unix _ -> Alcotest.fail "expected a tcp address"
+
+(* N parallel clients, interleaved compile/verify/simulate: every
+   response must be byte-identical (in its result object) to a
+   sequential replay of the same request — the determinism contract
+   under concurrency. *)
+let concurrent_vs_sequential addr =
+  let requests k =
+    [
+      Printf.sprintf
+        {|{"id":%d,"op":"compile","bench":"BV_10","strategy":"sr"}|} (10 * k);
+      Printf.sprintf
+        {|{"id":%d,"op":"compile","bench":"XOR_5","strategy":"qs-max-reuse"}|}
+        ((10 * k) + 1);
+      Printf.sprintf
+        {|{"id":%d,"op":"simulate","bench":"BV_10","shots":32,"seed":3}|}
+        ((10 * k) + 2);
+    ]
+  in
+  let _t, daemon, addr =
+    run_daemon { Serve.Server.default_config with addr; handler_domains = 4 }
+  in
+  let clients =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () -> Serve.Client.call_retry ~addr (requests k)))
+  in
+  let answers = List.map Domain.join clients in
+  shutdown_daemon ~addr daemon;
+  (* Sequential baseline on a fresh server: same bytes, no concurrency.
+     The result object is a pure function of the request, so a separate
+     instance replays it exactly. *)
+  let baseline = Serve.Server.create Serve.Server.default_config in
+  List.iteri
+    (fun k responses ->
+      check int "one response per request" 3 (List.length responses);
+      List.iter2
+        (fun req resp ->
+          check bool "concurrent request succeeded" true
+            (contains resp "\"ok\":true");
+          let seq, _ = Serve.Server.handle_line baseline req in
+          check string "byte-identical to sequential replay"
+            (result_part seq) (result_part resp))
+        (requests k) responses)
+    answers
+
+let test_concurrent_clients_unix () =
+  let dir = fresh_dir "conc" in
+  concurrent_vs_sequential (T.Unix (Filename.concat dir "caqr.sock"))
+
+let test_concurrent_clients_tcp () =
+  concurrent_vs_sequential (T.Tcp ("127.0.0.1", 0))
+
+(* ---- back-pressure ---- *)
+
+(* Deterministic overload: occupy every admission slot by hand, then
+   observe the structured rejection — no timing involved. *)
+let test_overload_rejection () =
+  let t =
+    server ~config:{ Serve.Server.default_config with max_inflight = 1 } ()
+  in
+  let gate = Serve.Server.gate t in
+  check bool "slot taken" true (Guard.Gate.try_enter gate);
+  let rejected, stop =
+    Serve.Server.handle_line t {|{"id":9,"op":"compile","bench":"BV_10"}|}
+  in
+  check bool "overload does not stop the daemon" false stop;
+  check bool "rejected with ok:false" true (contains rejected "\"ok\":false");
+  check bool "stage serve.admission" true
+    (contains rejected "\"stage\":\"serve.admission\"");
+  check bool "site request.overload" true
+    (contains rejected "\"site\":\"request.overload\"");
+  check bool "recoverable: the client may retry" true
+    (contains rejected "\"recoverable\":true");
+  check bool "id echoed" true (contains rejected "\"id\":9");
+  (* stats and shutdown stay answerable under overload. *)
+  let stats, _ = Serve.Server.handle_line t {|{"op":"stats"}|} in
+  check bool "stats bypasses the gate" true (contains stats "\"ok\":true");
+  check bool "stats reports inflight" true (contains stats "\"inflight\":1");
+  Guard.Gate.leave gate;
+  let ok, _ =
+    Serve.Server.handle_line t {|{"id":10,"op":"compile","bench":"BV_10"}|}
+  in
+  check bool "slot released, request admitted" true (contains ok "\"ok\":true");
+  check bool "rejection counted" true
+    (Obs.Metrics.snapshot ()
+     |> fun s ->
+     List.exists
+       (fun (k, v) -> k = "serve.rejected.overload" && v >= 1)
+       s.Obs.Metrics.counters)
+
+(* ---- protocol versioning ---- *)
+
+let test_proto_versioning () =
+  let t = server () in
+  (* A proto-1 request (no field) and an explicit proto-2 request both
+     get answered; the response always declares proto 2. *)
+  let v1, _ = Serve.Server.handle_line t {|{"id":1,"op":"stats"}|} in
+  check bool "v1 request answered" true (contains v1 "\"ok\":true");
+  check bool "response declares proto" true (contains v1 "\"proto\":2");
+  let v2, _ = Serve.Server.handle_line t {|{"id":2,"op":"stats","proto":2}|} in
+  check bool "v2 request answered" true (contains v2 "\"ok\":true");
+  let future, stop =
+    Serve.Server.handle_line t {|{"id":3,"op":"stats","proto":3}|}
+  in
+  check bool "future proto does not stop the daemon" false stop;
+  check bool "future proto rejected" true (contains future "\"ok\":false");
+  check bool "version rejection site" true
+    (contains future "\"site\":\"request.version\"");
+  check bool "rejection echoes the id" true (contains future "\"id\":3");
+  let bad, _ = Serve.Server.handle_line t {|{"op":"stats","proto":"two"}|} in
+  check bool "non-integer proto rejected" true
+    (contains bad "\"site\":\"request.parse\"")
+
+(* ---- disk budget ---- *)
+
+let entry_count dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cache")
+  |> List.length
+
+let test_cache_disk_budget () =
+  let dir = fresh_dir "budget" in
+  (* mem tier off: every find goes to disk, so eviction is observable. *)
+  let c =
+    Serve.Cache.create ~mem_capacity:0 ~dir ~disk_budget_bytes:64 ()
+  in
+  let v = String.make 32 'v' in
+  List.iter (fun k -> Serve.Cache.store c k v) [ "k0"; "k1"; "k2"; "k3" ];
+  check int "budget keeps two 32-byte entries" 2 (entry_count dir);
+  check bool "oldest evicted" true (Serve.Cache.find c "k0" = None);
+  check bool "newest survives" true (Serve.Cache.find c "k3" = Some v);
+  let stats = Serve.Cache.stats c in
+  let stat name = List.assoc name stats in
+  check int "disk_entries tracked" 2 (stat "disk_entries");
+  check int "disk_bytes tracked" 64 (stat "disk_bytes");
+  check int "disk_evictions counted" 2 (stat "disk_evictions");
+  (* A value larger than the whole budget never touches the tier. *)
+  Serve.Cache.store c "huge" (String.make 100 'h');
+  check bool "oversized value skipped" true
+    (Serve.Cache.find c "huge" = None);
+  check int "tier untouched by oversized store" 2 (entry_count dir)
+
+(* A restart rebuilds the index by mtime, so the budget keeps holding
+   across processes and the LRU order survives as recorded on disk. *)
+let test_cache_disk_budget_restart () =
+  let dir = fresh_dir "budget-restart" in
+  let c = Serve.Cache.create ~mem_capacity:0 ~dir () in
+  let v = String.make 32 'v' in
+  (* Distinct mtimes so the restart scan sees the write order. *)
+  Serve.Cache.store c "old" v;
+  Unix.sleepf 0.02;
+  Serve.Cache.store c "mid" v;
+  Unix.sleepf 0.02;
+  Serve.Cache.store c "new" v;
+  let c2 = Serve.Cache.create ~mem_capacity:0 ~dir ~disk_budget_bytes:70 () in
+  let stat name = List.assoc name (Serve.Cache.stats c2) in
+  check int "restart scan finds the entries" 3 (stat "disk_entries");
+  check int "restart scan sums the bytes" 96 (stat "disk_bytes");
+  (* First store over budget evicts the stalest survivors. *)
+  Serve.Cache.store c2 "k4" v;
+  check bool "within budget after eviction" true (stat "disk_bytes" <= 70);
+  check bool "oldest entry went first" true
+    (Serve.Cache.find c2 "old" = None);
+  check bool "newest written survives" true
+    (Serve.Cache.find c2 "k4" = Some v)
 
 let () =
   Alcotest.run "serve"
@@ -574,6 +860,18 @@ let () =
             test_cache_lru_bound_random;
           Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
           Alcotest.test_case "crash safety" `Quick test_cache_crash_safety;
+          Alcotest.test_case "disk budget evicts lru" `Quick
+            test_cache_disk_budget;
+          Alcotest.test_case "disk budget survives restart" `Quick
+            test_cache_disk_budget_restart;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "addr grammar" `Quick test_addr_grammar;
+          Alcotest.test_case "tcp framing roundtrip" `Quick
+            test_tcp_framing_roundtrip;
+          Alcotest.test_case "newline framing rejects newline" `Quick
+            test_newline_framing_rejects_embedded_newline;
         ] );
       ( "handler",
         [
@@ -593,7 +891,18 @@ let () =
           Alcotest.test_case "stats and shutdown" `Quick
             test_handler_stats_and_shutdown;
           Alcotest.test_case "batch keeps order" `Quick test_handler_batch_order;
+          Alcotest.test_case "overload rejection" `Quick
+            test_overload_rejection;
+          Alcotest.test_case "protocol versioning" `Quick
+            test_proto_versioning;
         ] );
       ( "socket",
-        [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+        [
+          Alcotest.test_case "unix end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "tcp end to end" `Quick test_tcp_end_to_end;
+          Alcotest.test_case "4 concurrent clients (unix)" `Quick
+            test_concurrent_clients_unix;
+          Alcotest.test_case "4 concurrent clients (tcp)" `Quick
+            test_concurrent_clients_tcp;
+        ] );
     ]

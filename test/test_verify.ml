@@ -234,24 +234,20 @@ let test_pipeline_skips_verification_by_default () =
   let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Sr (Caqr.Pipeline.Regular (bv 6)) in
   check bool "no verdict unless asked" true (r.Caqr.Pipeline.verification = None)
 
-(* The deprecated optional-argument shim must behave exactly like an
-   options record carrying the same fields. *)
-let test_compile_legacy_matches_options () =
+(* Same options record, same result — the options API (sole compile
+   entry point now the PR 2 legacy shim is gone) must be reproducible
+   field-for-field. *)
+let test_compile_options_reproducible () =
   let input = Caqr.Pipeline.Regular (bv 6) in
-  let r_new =
-    Caqr.Pipeline.compile
-      ~options:
-        { Caqr.Pipeline.default with verify = Some Verify.Static; seed = 3 }
-      mumbai Caqr.Pipeline.Sr input
+  let options =
+    { Caqr.Pipeline.default with verify = Some Verify.Static; seed = 3 }
   in
-  let[@alert "-deprecated"] [@warning "-3"] r_old =
-    Caqr.Pipeline.compile_legacy ~verify:Verify.Static ~seed:3 mumbai
-      Caqr.Pipeline.Sr input
-  in
+  let r1 = Caqr.Pipeline.compile ~options mumbai Caqr.Pipeline.Sr input in
+  let r2 = Caqr.Pipeline.compile ~options mumbai Caqr.Pipeline.Sr input in
   check bool "same physical circuit" true
-    (r_old.Caqr.Pipeline.physical = r_new.Caqr.Pipeline.physical);
+    (r1.Caqr.Pipeline.physical = r2.Caqr.Pipeline.physical);
   check bool "same verdict" true
-    (r_old.Caqr.Pipeline.verification = r_new.Caqr.Pipeline.verification)
+    (r1.Caqr.Pipeline.verification = r2.Caqr.Pipeline.verification)
 
 (* ----------------------------------------------------------- suite sweep *)
 
@@ -357,8 +353,8 @@ let () =
             test_pipeline_verifies_all_strategies;
           Alcotest.test_case "off by default" `Quick
             test_pipeline_skips_verification_by_default;
-          Alcotest.test_case "legacy wrapper agrees" `Quick
-            test_compile_legacy_matches_options;
+          Alcotest.test_case "options reproducible" `Quick
+            test_compile_options_reproducible;
         ] );
       ( "suite",
         [
