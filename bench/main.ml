@@ -545,6 +545,8 @@ let verify_exp () =
       ("qs-min-depth", Caqr.Pipeline.Qs_min_depth);
       ("qs-best-fidelity", Caqr.Pipeline.Qs_best_fidelity);
       ("sr", Caqr.Pipeline.Sr);
+      ("cone", Caqr.Pipeline.Cone);
+      ("gidnet", Caqr.Pipeline.Gidnet);
     ]
   in
   Printf.printf "%-14s %-18s %-8s %s\n" "benchmark" "strategy" "level" "verdict";
@@ -709,12 +711,108 @@ let parallel_exp () =
     "=> jobs=4 speedup: compile %.2fx, sampling %.2fx (bounded by cores)\n"
     r.pr_compile_speedup_j4 r.pr_sample_speedup_j4
 
+(* -------------------------------------------------------------- engines *)
+
+(* Engine-vs-engine matrix: every Table-1 benchmark compiled under each
+   of the four reuse engines (QS, SR, Cone, GidNET) plus the no-reuse
+   baseline. Cached in a ref so the one measurement feeds both the
+   printed table and the BENCH_caqr.json "engines" section. *)
+
+type engines_cell = {
+  ec_strategy : string;
+  ec_width : int;
+  ec_depth : int;
+  ec_duration : int;
+  ec_swaps : int;
+  ec_wall_s : float;
+}
+
+type engines_row = { eng_benchmark : string; eng_cells : engines_cell list }
+
+let engines_cache : engines_row list option ref = ref None
+
+let engines_strategies =
+  [
+    Caqr.Pipeline.Baseline;
+    Caqr.Pipeline.Qs_max_reuse;
+    Caqr.Pipeline.Sr;
+    Caqr.Pipeline.Cone;
+    Caqr.Pipeline.Gidnet;
+  ]
+
+let engines_measurements () =
+  match !engines_cache with
+  | Some rows -> rows
+  | None ->
+    let rows =
+      List.map
+        (fun (e : Benchmarks.Suite.entry) ->
+          let input =
+            match e.Benchmarks.Suite.kind with
+            | Benchmarks.Suite.Regular ->
+              Caqr.Pipeline.Regular e.Benchmarks.Suite.circuit
+            | Benchmarks.Suite.Commutable g -> Caqr.Pipeline.Commutable g
+          in
+          let cells =
+            List.map
+              (fun strategy ->
+                let t0 = Unix.gettimeofday () in
+                let r = Caqr.Pipeline.compile mumbai strategy input in
+                let wall = Unix.gettimeofday () -. t0 in
+                check_artifact mumbai
+                  ~logical:(fst (Quantum.Circuit.compact_qubits r.Caqr.Pipeline.logical))
+                  ~physical:r.Caqr.Pipeline.physical;
+                {
+                  ec_strategy = Caqr.Pipeline.strategy_name strategy;
+                  ec_width = r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used;
+                  ec_depth = r.Caqr.Pipeline.stats.Transpiler.Transpile.depth;
+                  ec_duration =
+                    r.Caqr.Pipeline.stats.Transpiler.Transpile.duration_dt;
+                  ec_swaps = r.Caqr.Pipeline.stats.Transpiler.Transpile.swaps;
+                  ec_wall_s = wall;
+                })
+              engines_strategies
+          in
+          { eng_benchmark = e.Benchmarks.Suite.name; eng_cells = cells })
+        (Benchmarks.Suite.table1 ())
+    in
+    engines_cache := Some rows;
+    rows
+
+let engines_exp () =
+  section "engines" "engine-vs-engine width/depth/duration matrix";
+  let rows = engines_measurements () in
+  Printf.printf "%-14s %-18s %-7s %-7s %-13s %-6s %s\n" "benchmark" "engine"
+    "width" "depth" "duration(dt)" "swaps" "wall(s)";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          Printf.printf "%-14s %-18s %-7d %-7d %-13d %-6d %.3f\n"
+            row.eng_benchmark c.ec_strategy c.ec_width c.ec_depth c.ec_duration
+            c.ec_swaps c.ec_wall_s)
+        row.eng_cells;
+      print_newline ())
+    rows;
+  (* The differential headline: on how many benchmarks do the new
+     engines match or beat the QS search's width? *)
+  let width_of name row =
+    (List.find (fun c -> c.ec_strategy = name) row.eng_cells).ec_width
+  in
+  let count name =
+    List.length
+      (List.filter (fun row -> width_of name row <= width_of "qs-max-reuse" row) rows)
+  in
+  Printf.printf
+    "=> width <= qs-max-reuse on %d/%d benchmarks (cone), %d/%d (gidnet)\n"
+    (count "cone") (List.length rows) (count "gidnet") (List.length rows)
+
 (* ----------------------------------------------------------------- perf *)
 
 (* The incremental analysis engine must reproduce the fresh engine's
    sweep exactly while doing a fraction of the analysis work.  The
    comparison runs both engines over every regular benchmark and writes
-   BENCH_caqr.json (schema caqr-bench/1) for CI to archive. *)
+   BENCH_caqr.json (schema caqr-bench/3) for CI to archive. *)
 
 type engine_run = {
   er_steps : Caqr.Qs_caqr.step list;
@@ -812,7 +910,7 @@ let perf () =
   Printf.printf "=> engines agree on every sweep: %b\n" all_identical;
   if not all_identical then incr structural_violations;
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"caqr-bench/2\",\"suite\":[";
+  Buffer.add_string b "{\"schema\":\"caqr-bench/3\",\"suite\":[";
   List.iteri
     (fun i (e, inc, fresh, identical, work, speedup) ->
       if i > 0 then Buffer.add_char b ',';
@@ -848,8 +946,29 @@ let perf () =
     par.pr_points;
   Buffer.add_string b
     (Printf.sprintf
-       "],\"compile_speedup_j4\":%.3f,\"sample_speedup_j4\":%.3f}}"
+       "],\"compile_speedup_j4\":%.3f,\"sample_speedup_j4\":%.3f}"
        par.pr_compile_speedup_j4 par.pr_sample_speedup_j4);
+  (* caqr-bench/3: the cross-engine matrix (every Table-1 benchmark under
+     baseline/qs/sr/cone/gidnet). *)
+  let eng = engines_measurements () in
+  Buffer.add_string b ",\"engines\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"benchmark\":%S,\"strategies\":[" row.eng_benchmark);
+      List.iteri
+        (fun j c ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"strategy\":%S,\"width\":%d,\"depth\":%d,\"duration_dt\":%d,\"swaps\":%d,\"wall_s\":%.6f}"
+               c.ec_strategy c.ec_width c.ec_depth c.ec_duration c.ec_swaps
+               c.ec_wall_s))
+        row.eng_cells;
+      Buffer.add_string b "]}")
+    eng;
+  Buffer.add_string b "]}";
   Buffer.add_char b '\n';
   let oc = open_out "BENCH_caqr.json" in
   output_string oc (Buffer.contents b);
@@ -1077,6 +1196,7 @@ let experiments =
     ("verify", verify_exp);
     ("serve", serve_exp);
     ("parallel", parallel_exp);
+    ("engines", engines_exp);
     ("perf", perf);
     ("micro", micro);
   ]

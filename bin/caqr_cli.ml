@@ -16,14 +16,7 @@
    (or, for call, a request answered ok:false); 2 usage error; 3 compile
    degraded to baseline; 4 internal error. *)
 
-let all_strategies =
-  [
-    ("baseline", Caqr.Pipeline.Baseline);
-    ("qs-max-reuse", Caqr.Pipeline.Qs_max_reuse);
-    ("qs-min-depth", Caqr.Pipeline.Qs_min_depth);
-    ("qs-best-fidelity", Caqr.Pipeline.Qs_best_fidelity);
-    ("sr", Caqr.Pipeline.Sr);
-  ]
+let all_strategies = Caqr.Pipeline.all_strategies
 
 let input_of_entry (e : Benchmarks.Suite.entry) =
   match e.Benchmarks.Suite.kind with
@@ -49,17 +42,12 @@ let bench_pos =
     required & pos 0 (some bench_arg) None & info [] ~docv:"BENCHMARK")
 
 let strategy_arg =
+  (* One grammar for every front end: Pipeline owns the name map, so the
+     error message always lists exactly the wired strategies. *)
   let parse s =
-    match List.assoc_opt s all_strategies with
-    | Some st -> Ok st
-    | None ->
-      (match int_of_string_opt s with
-       | Some n -> Ok (Caqr.Pipeline.Qs_target n)
-       | None ->
-         Error
-           (`Msg
-             "strategy must be baseline | qs-max-reuse | qs-min-depth | sr | \
-              <qubit budget>"))
+    match Caqr.Pipeline.strategy_of_name s with
+    | Ok st -> Ok st
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf s = Format.pp_print_string ppf (Caqr.Pipeline.strategy_name s) in
   Cmdliner.Arg.conv (parse, print)
@@ -71,7 +59,8 @@ let strategy_flag =
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
         ~doc:
           "Compilation strategy: baseline, qs-max-reuse, qs-min-depth, \
-           qs-best-fidelity, sr, or an integer qubit budget.")
+           qs-best-fidelity, sr, cone, gidnet, or an integer qubit \
+           budget.")
 
 let qasm_flag =
   Cmdliner.Arg.(
@@ -729,8 +718,9 @@ let cache_warm_cmd =
       & info [ "strategy" ] ~docv:"STRATEGY"
           ~doc:
             "Strategy to precompile (repeatable; the protocol grammar: \
-             sr, baseline, qs-max-reuse, qs-min-depth, qs-best-fidelity \
-             or a qubit budget). Default: sr, the protocol default.")
+             sr, baseline, qs-max-reuse, qs-min-depth, qs-best-fidelity, \
+             cone, gidnet or a qubit budget). Default: sr, the protocol \
+             default.")
   in
   let disk_budget_flag =
     Cmdliner.Arg.(

@@ -1,0 +1,103 @@
+(* Causal-cone qubit reuse (DeCross et al., arxiv 2210.08039).
+
+   The causal cone of a qubit q is the set of qubits whose gates can
+   influence q's final measurement — exactly the qubit-level
+   reachability projection [Reuse.reaches] already maintains for
+   Condition 2. The algorithm:
+
+     1. compute every active qubit's cone on the input analysis;
+     2. order qubits ascending by (cone size, id) — the measurement
+        whose cone is smallest completes first;
+     3. walk the order; for each measurement, lazily allocate every
+        not-yet-allocated cone member, preferring to recycle a retired
+        (measured-then-reset) wire from the free pool over opening a
+        fresh one; then retire the measured qubit's wire into the pool.
+
+   "Recycling wire h for qubit p" is precisely a CaQR reuse pair
+   (src = h, dst = p): validity is delegated to [Reuse.valid] (the
+   paper's Conditions 1-2 on the *current*, incrementally-updated
+   analysis), so the heuristic can never commit an unsound splice. Among
+   the valid free wires the one with the smallest predicted depth wins,
+   ties to the lowest wire id — the whole run is a pure function of the
+   input circuit. *)
+
+type result = {
+  circuit : Quantum.Circuit.t;
+  pairs : Reuse.pair list;
+  width : int;
+  order : int list;
+}
+
+let cone_of analysis active q =
+  List.filter (fun p -> Reuse.reaches analysis p q) active
+
+let run c =
+  Obs.Metrics.incr "cone.runs";
+  Obs.Metrics.time "time.cone" @@ fun () ->
+  let a0 = Reuse.analyze c in
+  let active = Reuse.active_qubits a0 in
+  let k = c.Quantum.Circuit.num_qubits in
+  (* Cones are a property of the *input* dependence structure; computing
+     them once up front keeps the measurement order stable while the
+     walk rewrites the circuit underneath. *)
+  let cones = Array.make (max 1 k) [] in
+  List.iter (fun q -> cones.(q) <- cone_of a0 active q) active;
+  let order =
+    List.sort
+      (fun a b -> compare (List.length cones.(a), a) (List.length cones.(b), b))
+      active
+  in
+  (* Rank in the measurement order: cone members allocate in the order
+     their own measurements will complete, so the earliest retirees
+     claim recycled wires first. *)
+  let rank = Array.make (max 1 k) max_int in
+  List.iteri (fun i q -> rank.(q) <- i) order;
+  let analysis = ref a0 in
+  let allocated = Array.make (max 1 k) false in
+  let host = Array.init (max 1 k) Fun.id in
+  let free = ref [] (* retired wires, oldest retiree first *) in
+  let pairs = ref [] in
+  let tick = Guard.Budget.ticker ~stage:"core.cone" ~site:"cone.alloc" () in
+  let allocate p =
+    if not allocated.(p) then begin
+      tick ();
+      allocated.(p) <- true;
+      let best =
+        List.fold_left
+          (fun best h ->
+            let pr = { Reuse.src = h; dst = p } in
+            if not (Reuse.valid !analysis pr) then best
+            else
+              let key = (Reuse.predict_depth !analysis pr, h) in
+              match best with
+              | Some (k0, _) when k0 <= key -> best
+              | _ -> Some (key, h))
+          None !free
+      in
+      match best with
+      | Some (_, h) ->
+        free := List.filter (fun x -> x <> h) !free;
+        let pr = { Reuse.src = h; dst = p } in
+        analysis := Reuse.apply_incremental !analysis pr;
+        pairs := pr :: !pairs;
+        host.(p) <- h;
+        Obs.Metrics.incr "cone.reuses"
+      | None -> host.(p) <- p
+    end
+  in
+  List.iter
+    (fun q ->
+      let members =
+        List.sort (fun a b -> compare (rank.(a), a) (rank.(b), b)) cones.(q)
+      in
+      List.iter allocate members;
+      (* [q]'s cone is complete: its wire is measured-then-reset and
+         rejoins the pool for the next allocation. *)
+      free := !free @ [ host.(q) ])
+    order;
+  {
+    circuit = Reuse.circuit !analysis;
+    pairs = List.rev !pairs;
+    width = Reuse.usage !analysis;
+    order;
+  }

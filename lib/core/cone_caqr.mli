@@ -1,0 +1,34 @@
+(** Cone-CaQR: causal-cone qubit reuse, after DeCross et al.
+    (arxiv 2210.08039).
+
+    A fundamentally different algorithm from the QS-CaQR pair search:
+    instead of retiring one qubit at a time by best predicted depth, it
+    orders the program's terminal measurements by the size of their
+    causal cones (the set of qubits whose gates can influence the
+    measured qubit) and walks that order, lazily allocating a wire for
+    each cone member the first time it is needed and recycling the
+    measured-then-reset wire as soon as its measurement's cone is
+    complete. Small cones first means wires retire early and the free
+    pool stays warm — on many circuits this reaches the true minimum
+    width directly.
+
+    The engine speaks the same IR contract as {!Qs_caqr}: the result is
+    a logical circuit derived from the input by a sequence of
+    {!Reuse.pair} applications (measure + conditional-X splices), so
+    [lib/verify]'s structural checker and the simulation-TVD oracle
+    apply unchanged. *)
+
+type result = {
+  circuit : Quantum.Circuit.t;
+      (** the reuse-transformed logical circuit (retired wires left
+          empty; callers compact) *)
+  pairs : Reuse.pair list;  (** applied splices, oldest first *)
+  width : int;  (** active qubits of [circuit] *)
+  order : int list;
+      (** the cone-size measurement order the walk followed *)
+}
+
+(** [run circuit] — deterministic: the result is a pure function of the
+    input circuit (ties broken by qubit id). Hot loops poll
+    {!Guard.Budget} at stage ["core.cone"]. *)
+val run : Quantum.Circuit.t -> result

@@ -1,0 +1,33 @@
+(** GidNET-CaQR: graph-based identification of reuse networks, after
+    arxiv 2410.08817.
+
+    Where QS-CaQR commits one reuse pair at a time by local score,
+    GidNET looks at the whole candidate-pair graph at once: vertices are
+    active qubits, an edge [p -> q] means the pair [(src = p, dst = q)]
+    satisfies CaQR's Conditions 1-2, and a *reuse chain*
+    [q1 -> q2 -> ... -> qm] folds all of [q2..qm] onto [q1]'s wire —
+    saving [m - 1] qubits in one decision. The engine repeatedly
+    extracts the longest chain it can find (greedy longest-path over the
+    candidate graph, deterministic tie-breaks), commits it link by link
+    with per-link revalidation against the incrementally updated
+    analysis, and rebuilds the candidate graph, until no candidate pair
+    remains.
+
+    Same IR contract as {!Qs_caqr}/{!Cone_caqr}: the output is the input
+    circuit transformed by a sequence of {!Reuse.pair} splices, so
+    [lib/verify] and the fuzz oracles apply unchanged. *)
+
+type result = {
+  circuit : Quantum.Circuit.t;
+      (** the reuse-transformed logical circuit (retired wires left
+          empty; callers compact) *)
+  pairs : Reuse.pair list;  (** applied splices, oldest first *)
+  width : int;  (** active qubits of [circuit] *)
+  chains : int list list;
+      (** the committed chains, oldest first; each starts with its host
+          wire followed by the qubits folded onto it *)
+}
+
+(** [run circuit] — deterministic: a pure function of the input circuit.
+    Hot loops poll {!Guard.Budget} at stage ["core.gidnet"]. *)
+val run : Quantum.Circuit.t -> result

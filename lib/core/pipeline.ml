@@ -7,6 +7,8 @@ type strategy =
   | Qs_best_fidelity
   | Qs_target of int
   | Sr
+  | Cone
+  | Gidnet
 
 type options = {
   verify : Verify.level option;
@@ -58,6 +60,47 @@ let strategy_name = function
   | Qs_best_fidelity -> "qs-best-fidelity"
   | Qs_target n -> Printf.sprintf "qs-target-%d" n
   | Sr -> "sr"
+  | Cone -> "cone"
+  | Gidnet -> "gidnet"
+
+(* The one strategy grammar. The CLI --strategy flag and the service
+   protocol both delegate here, so a future engine cannot be wired into
+   one front end and silently missing from the other; the exhaustive
+   round-trip with {!strategy_name} is pinned in test_strategy_names. *)
+let all_strategies =
+  [
+    ("baseline", Baseline);
+    ("qs-max-reuse", Qs_max_reuse);
+    ("qs-min-depth", Qs_min_depth);
+    ("qs-best-fidelity", Qs_best_fidelity);
+    ("sr", Sr);
+    ("cone", Cone);
+    ("gidnet", Gidnet);
+  ]
+
+let strategy_of_name s =
+  match List.assoc_opt s all_strategies with
+  | Some st -> Ok st
+  | None ->
+    let budget =
+      match int_of_string_opt s with
+      | Some n -> Some n
+      | None ->
+        (* [strategy_name (Qs_target n)] prints "qs-target-<n>"; parsing
+           it back keeps the name map a bijection on every variant. *)
+        let prefix = "qs-target-" in
+        let pl = String.length prefix in
+        if String.length s > pl && String.sub s 0 pl = prefix then
+          int_of_string_opt (String.sub s pl (String.length s - pl))
+        else None
+    in
+    (match budget with
+     | Some n -> Ok (Qs_target n)
+     | None ->
+       Error
+         (Printf.sprintf "unknown strategy %S (expected %s | qs-target-<n> | <qubit budget>)"
+            s
+            (String.concat " | " (List.map fst all_strategies))))
 
 (* Every field that can change the compiled artifact or the report body
    lands in the fingerprint; fields that by contract only change
@@ -198,6 +241,22 @@ let compile_unverified ~search ~jobs device strategy input ~original =
      with
      | best :: _ -> best
      | [] -> invalid_arg "Pipeline.compile: empty sweep")
+  | Cone ->
+    let r = Cone_caqr.run original in
+    ( finish device strategy r.Cone_caqr.circuit (List.length r.Cone_caqr.pairs),
+      (* On commutable inputs the pairs transform the *emitted* circuit,
+         not the problem graph — the commutable structural checker would
+         misread them, so only regular inputs surface pairs. *)
+      match input with
+      | Regular _ -> Some r.Cone_caqr.pairs
+      | Commutable _ -> None )
+  | Gidnet ->
+    let r = Gidnet_caqr.run original in
+    ( finish device strategy r.Gidnet_caqr.circuit
+        (List.length r.Gidnet_caqr.pairs),
+      match input with
+      | Regular _ -> Some r.Gidnet_caqr.pairs
+      | Commutable _ -> None )
   | Qs_target target ->
     let found =
       match input with
@@ -222,6 +281,7 @@ let compile_unverified ~search ~jobs device strategy input ~original =
 let ladder = function
   | Sr -> [ Sr; Qs_max_reuse; Baseline ]
   | Qs_target n -> [ Qs_target n; Qs_max_reuse; Baseline ]
+  | (Cone | Gidnet) as s -> [ s; Qs_max_reuse; Baseline ]
   | (Qs_max_reuse | Qs_min_depth | Qs_best_fidelity) as s -> [ s; Baseline ]
   | Baseline -> [ Baseline ]
 

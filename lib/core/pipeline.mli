@@ -17,6 +17,12 @@ type strategy =
           (the paper's fidelity-tuned objective) *)
   | Qs_target of int  (** QS-CaQR at a user qubit budget *)
   | Sr  (** SR-CaQR lazy mapping *)
+  | Cone
+      (** causal-cone reuse ({!Cone_caqr}): cone-size measurement
+          ordering with lazy allocation and wire recycling *)
+  | Gidnet
+      (** GidNET reuse ({!Gidnet_caqr}): global chain extraction over
+          the candidate-pair graph *)
 
 (** Compilation options, replacing the optional-argument list that
     [compile] used to grow. Build variations with functional update:
@@ -36,8 +42,9 @@ type options = {
   fallback : bool;
       (** supervise the compile with the degradation ladder
           (default false): a strategy that raises demotes one rung —
-          [Sr] → [Qs_max_reuse] → [Baseline]; [Qs_target _] →
-          [Qs_max_reuse] → [Baseline]; other QS strategies → [Baseline]
+          [Sr] → [Qs_max_reuse] → [Baseline]; [Qs_target _], [Cone] and
+          [Gidnet] → [Qs_max_reuse] → [Baseline]; other QS strategies →
+          [Baseline]
           — so [compile] returns SOME valid physical circuit, or raises
           a single {!Guard.Error.Guard_error} naming every rung it
           tried. Each demotion is recorded in [report.degraded] and
@@ -139,3 +146,14 @@ val sweep_stats :
 val beneficial : Hardware.Device.t -> input -> bool * string
 
 val strategy_name : strategy -> string
+
+(** The named strategies, in display order — the single source of truth
+    for the CLI [--strategy] grammar and the service protocol.
+    [Qs_target] is the one unnamed family; {!strategy_of_name} parses
+    it from ["qs-target-<n>"] or a bare integer budget. *)
+val all_strategies : (string * strategy) list
+
+(** Parses {!strategy_name} output (and bare integer budgets) back to a
+    strategy: a total round-trip over every variant, pinned by test so a
+    future engine cannot be added without wiring both directions. *)
+val strategy_of_name : string -> (strategy, string) result

@@ -131,6 +131,15 @@ let analyze circuit =
          (fun g -> Quantum.Gate.is_barrier g.Quantum.Gate.kind)
          circuit.Quantum.Circuit.gates)
 
+let active_qubits a =
+  let acc = ref [] in
+  for q = Array.length a.active - 1 downto 0 do
+    if a.active.(q) then acc := q :: !acc
+  done;
+  !acc
+
+let reaches a p q = a.qreach.(p).(q)
+
 let condition1 a { src; dst } = not (Galg.Graph.has_edge a.inter src dst)
 
 (* No gate on dst may reach a gate on src. *)

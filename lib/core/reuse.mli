@@ -26,6 +26,16 @@ val circuit : analysis -> Quantum.Circuit.t
     [qubit_usage (circuit a)]. *)
 val usage : analysis -> int
 
+(** Active qubits (wires carrying at least one gate), ascending. *)
+val active_qubits : analysis -> int list
+
+(** [reaches a p q]: some gate on qubit [p] reaches (reflexively) some
+    gate on qubit [q]. This is the qubit-level projection of the gate
+    closure that Condition 2 consults; the causal-cone and GidNET
+    engines read it directly — the causal cone of a measurement on [q]
+    is exactly [{ p | reaches a p q }]. *)
+val reaches : analysis -> int -> int -> bool
+
 (** Condition 1 for a pair. *)
 val condition1 : analysis -> pair -> bool
 

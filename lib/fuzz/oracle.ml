@@ -17,12 +17,44 @@ let of_name s =
       (Printf.sprintf "unknown oracle %S (expected %s)" s
          (String.concat " | " (List.map name all)))
 
-(* ---- engines: fresh-vs-incremental sweep identity ---- *)
+(* ---- shared sampled-distribution machinery ---- *)
+
+(* Project a histogram onto the low [num_clbits] program bits — the
+   transforms may have appended scratch clbits for conditional resets. *)
+let marginal ~num_clbits counts =
+  let mask = (1 lsl num_clbits) - 1 in
+  let out = Sim.Counts.create ~num_clbits in
+  List.iter
+    (fun (outcome, _) ->
+      let k = Sim.Counts.get counts outcome in
+      for _ = 1 to k do
+        Sim.Counts.add out (outcome land mask)
+      done)
+    (Sim.Counts.to_probs counts);
+  out
+
+let distinct_outcomes a b =
+  let outs c = List.map fst (Sim.Counts.to_probs c) in
+  List.length (List.sort_uniq compare (outs a @ outs b))
+
+let sim_max_qubits = 6
+let sim_shots = 1024
+
+(* Two finite samples of the same distribution over K outcomes sit
+   around TVD ~ sqrt(K / shots) / 2; the additive floor keeps
+   low-entropy circuits from tripping on shot noise. *)
+let tvd_threshold a b =
+  let k = distinct_outcomes a b in
+  0.1 +. sqrt (float_of_int k /. float_of_int sim_shots)
+
+(* ---- engines: the cross-engine differential oracle ---- *)
 
 let sweep_with engine c =
   Caqr.Qs_caqr.sweep ~opts:{ Caqr.Qs_caqr.default_opts with engine } c
 
-let check_engines c =
+(* Fresh-vs-incremental sweep identity — the original [engines] check,
+   kept as the first leg of the cross-engine battery. *)
+let check_sweep_identity c =
   let inc = sweep_with Caqr.Qs_caqr.Incremental c in
   let fresh = sweep_with Caqr.Qs_caqr.Fresh c in
   if inc = fresh then Pass
@@ -38,6 +70,145 @@ let check_engines c =
          (List.length inc) (List.length fresh)
          (first_diff 0 (inc, fresh)))
   end
+
+type engine_artifact = {
+  ea_circuit : Quantum.Circuit.t;
+  ea_pairs : Caqr.Reuse.pair list option;
+  ea_width : int;
+  ea_slack : int;
+}
+
+let pair_artifact circuit pairs =
+  {
+    ea_circuit = circuit;
+    ea_pairs = Some pairs;
+    ea_width = List.length (Quantum.Circuit.active_qubits circuit);
+    ea_slack = 0;
+  }
+
+let cross_engines =
+  [
+    ( "qs",
+      fun c ->
+        match List.rev (Caqr.Qs_caqr.sweep c) with
+        | last :: _ ->
+          pair_artifact last.Caqr.Qs_caqr.circuit last.Caqr.Qs_caqr.pairs
+        | [] -> pair_artifact c [] );
+    ("cone", fun c ->
+        let r = Caqr.Cone_caqr.run c in
+        pair_artifact r.Caqr.Cone_caqr.circuit r.Caqr.Cone_caqr.pairs);
+    ("gidnet", fun c ->
+        let r = Caqr.Gidnet_caqr.run c in
+        pair_artifact r.Caqr.Gidnet_caqr.circuit r.Caqr.Gidnet_caqr.pairs);
+    ("sr", fun c ->
+        let device =
+          Hardware.Device.heavy_hex_for c.Quantum.Circuit.num_qubits
+        in
+        let r = Caqr.Sr_caqr.regular device c in
+        {
+          ea_circuit = r.Caqr.Sr_caqr.physical;
+          ea_pairs = None;
+          (* SR reuses physical wires as a side effect; its width claim
+             is the physical qubits its mapper actually touched. That
+             count includes *routing* wires — each inserted SWAP can pull
+             in up to two otherwise-unused physicals — which are overhead
+             the logical width bound must tolerate, not reuse gone
+             wrong. *)
+          ea_width = r.Caqr.Sr_caqr.qubits_used;
+          ea_slack = 2 * r.Caqr.Sr_caqr.swaps_added;
+        });
+  ]
+
+(* Every engine must (a) emit a well-formed circuit whose pair
+   certificate (when it names one) revalidates against the original,
+   (b) reproduce the original's output distribution on the program
+   clbits, and (c) claim a width that matches its artifact and sits in
+   [min over engines, baseline]. One bad engine is caught by the other
+   three — N-version testing, with the generated circuit as the vote. *)
+let check_engines_with ~seed engines c =
+  let baseline = List.length (Quantum.Circuit.active_qubits c) in
+  let artifacts = List.map (fun (name, f) -> (name, f c)) engines in
+  let widths = List.map (fun (_, a) -> a.ea_width) artifacts in
+  let min_width = List.fold_left min max_int widths in
+  let d0 =
+    if c.Quantum.Circuit.num_qubits <= sim_max_qubits then
+      Some (Sim.Executor.run ~seed ~shots:sim_shots c)
+    else None
+  in
+  let check_one i (name, a) =
+    let structural =
+      match Verify.Structural.check_wellformed a.ea_circuit with
+      | Verify.Verdict.Inequivalent ce ->
+        Fail (Printf.sprintf "%s: artifact is malformed: %s" name
+                ce.Verify.Verdict.detail)
+      | _ ->
+        (match a.ea_pairs with
+         | None -> Pass
+         | Some pairs ->
+           (match
+              Verify.Structural.check_pairs ~original:c
+                (List.map
+                   (fun (p : Caqr.Reuse.pair) ->
+                     { Verify.Structural.src = p.Caqr.Reuse.src;
+                       dst = p.Caqr.Reuse.dst })
+                   pairs)
+            with
+            | Verify.Verdict.Inequivalent ce ->
+              Fail
+                (Printf.sprintf "%s: pair certificate refuted: %s" name
+                   ce.Verify.Verdict.detail)
+            | _ -> Pass))
+    in
+    if structural <> Pass then structural
+    else if
+      a.ea_width <> List.length (Quantum.Circuit.active_qubits a.ea_circuit)
+    then
+      Fail
+        (Printf.sprintf "%s: claims width %d but its artifact uses %d wires"
+           name a.ea_width
+           (List.length (Quantum.Circuit.active_qubits a.ea_circuit)))
+    else if a.ea_width > baseline + a.ea_slack then
+      Fail
+        (Printf.sprintf "%s: width %d exceeds the baseline width %d%s" name
+           a.ea_width baseline
+           (if a.ea_slack > 0 then
+              Printf.sprintf " (+%d routing slack)" a.ea_slack
+            else ""))
+    else if a.ea_width < min_width then
+      Fail (Printf.sprintf "%s: width fell below the engine minimum" name)
+    else
+      match d0 with
+      | Some d0
+        when List.length (Quantum.Circuit.active_qubits a.ea_circuit)
+             <= sim_max_qubits + 2 ->
+        (* +2: SR routing may touch a couple of extra physical wires;
+           the executor compacts, so the state stays small. *)
+        let d1 =
+          marginal ~num_clbits:c.Quantum.Circuit.num_clbits
+            (Sim.Executor.run ~seed:(seed + i + 1) ~shots:sim_shots
+               a.ea_circuit)
+        in
+        let tvd = Sim.Counts.tvd d0 d1 in
+        let threshold = tvd_threshold d0 d1 in
+        if tvd <= threshold then Pass
+        else
+          Fail
+            (Printf.sprintf
+               "%s: output distribution shifted: TVD %.3f > %.3f" name tvd
+               threshold)
+      | _ -> Pass
+  in
+  let rec first_fail i = function
+    | [] -> Pass
+    | a :: rest ->
+      (match check_one i a with Pass -> first_fail (i + 1) rest | f -> f)
+  in
+  first_fail 0 artifacts
+
+let check_engines ~seed c =
+  match check_sweep_identity c with
+  | Fail _ as f -> f
+  | Pass -> check_engines_with ~seed cross_engines c
 
 (* ---- verified: compile + translation validation ---- *)
 
@@ -109,27 +280,6 @@ let check_roundtrip c =
 
 (* ---- simulation: sampled-distribution agreement after reuse ---- *)
 
-(* Project a histogram onto the low [num_clbits] program bits — the
-   transform may have appended scratch clbits for conditional resets. *)
-let marginal ~num_clbits counts =
-  let mask = (1 lsl num_clbits) - 1 in
-  let out = Sim.Counts.create ~num_clbits in
-  List.iter
-    (fun (outcome, _) ->
-      let k = Sim.Counts.get counts outcome in
-      for _ = 1 to k do
-        Sim.Counts.add out (outcome land mask)
-      done)
-    (Sim.Counts.to_probs counts);
-  out
-
-let distinct_outcomes a b =
-  let outs c = List.map fst (Sim.Counts.to_probs c) in
-  List.length (List.sort_uniq compare (outs a @ outs b))
-
-let sim_max_qubits = 6
-let sim_shots = 1024
-
 let check_simulation ~seed c =
   if c.Quantum.Circuit.num_qubits > sim_max_qubits then Pass
   else
@@ -143,11 +293,7 @@ let check_simulation ~seed c =
           (Sim.Executor.run ~seed:(seed + 1) ~shots:sim_shots t)
       in
       let tvd = Sim.Counts.tvd d0 d1 in
-      (* Two finite samples of the same distribution over K outcomes sit
-         around TVD ~ sqrt(K / shots) / 2; the additive floor keeps
-         low-entropy circuits from tripping on shot noise. *)
-      let k = distinct_outcomes d0 d1 in
-      let threshold = 0.1 +. sqrt (float_of_int k /. float_of_int sim_shots) in
+      let threshold = tvd_threshold d0 d1 in
       if tvd <= threshold then Pass
       else
         Fail
@@ -161,7 +307,7 @@ let check oracle ~seed c =
   let verdict =
     try
       match oracle with
-      | Engines -> check_engines c
+      | Engines -> check_engines ~seed c
       | Verified -> check_verified ~seed c
       | Roundtrip -> check_roundtrip c
       | Simulation -> check_simulation ~seed c

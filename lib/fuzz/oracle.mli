@@ -3,8 +3,15 @@
     Each oracle checks one equivalence the compiler promises, by running
     two independent implementations of it and comparing:
 
-    - [Engines]: QS-CaQR sweeps under the [Incremental] and [Fresh]
-      analysis engines must be structurally identical;
+    - [Engines]: the cross-engine battery. First the QS-CaQR sweeps
+      under the [Incremental] and [Fresh] analysis engines must be
+      structurally identical; then the circuit is compiled under every
+      engine in {!cross_engines} (QS, Cone, GidNET, SR) and each
+      artifact must be well-formed, its pair certificate must revalidate
+      against the original, its sampled output distribution must match
+      the original's on the program clbits, and the claimed widths must
+      satisfy [min over engines <= each engine <= baseline width] — one
+      buggy engine is outvoted by the other three;
     - [Verified]: [Pipeline.compile] output must pass [Verify.run]
       (structural conditions + exact-or-probe distribution equivalence);
     - [Roundtrip]: OpenQASM printing must reach a print→parse fixpoint
@@ -27,6 +34,34 @@ val name : t -> string
 
 (** Parses the output of {!name}. *)
 val of_name : string -> (t, string) result
+
+(** What one engine reports for one generated circuit: the transformed
+    circuit (logical for the pair-IR engines, physical for SR), the
+    reuse-pair certificate when the engine emits one, and its width
+    claim. *)
+type engine_artifact = {
+  ea_circuit : Quantum.Circuit.t;
+  ea_pairs : Caqr.Reuse.pair list option;
+  ea_width : int;
+  ea_slack : int;
+      (** routing wires the width bound tolerates on top of the baseline
+          width — 0 for the pair-IR engines, [2 * swaps] for SR, whose
+          physical footprint counts SWAP-touched wires that are routing
+          overhead, not reuse *)
+}
+
+(** The production engine roster the [Engines] oracle cross-checks:
+    [qs] (full reduction sweep), [cone], [gidnet], and [sr]. *)
+val cross_engines : (string * (Quantum.Circuit.t -> engine_artifact)) list
+
+(** [check_engines_with ~seed engines c] runs the cross-engine battery
+    over an explicit roster — tests inject a deliberately buggy engine
+    here and assert it is caught and shrunk. *)
+val check_engines_with :
+  seed:int ->
+  (string * (Quantum.Circuit.t -> engine_artifact)) list ->
+  Quantum.Circuit.t ->
+  verdict
 
 (** [check oracle ~seed circuit]. The same [(oracle, seed, circuit)]
     triple always returns the same verdict — simulation and probe seeds

@@ -37,18 +37,9 @@ type request = {
   no_cache : bool;
 }
 
-(* Same grammar as the CLI's --strategy flag. *)
-let strategy_of_string s =
-  match s with
-  | "baseline" -> Ok Caqr.Pipeline.Baseline
-  | "qs-max-reuse" -> Ok Caqr.Pipeline.Qs_max_reuse
-  | "qs-min-depth" -> Ok Caqr.Pipeline.Qs_min_depth
-  | "qs-best-fidelity" -> Ok Caqr.Pipeline.Qs_best_fidelity
-  | "sr" -> Ok Caqr.Pipeline.Sr
-  | s ->
-    (match int_of_string_opt s with
-     | Some n -> Ok (Caqr.Pipeline.Qs_target n)
-     | None -> Error (Printf.sprintf "unknown strategy %S" s))
+(* Same grammar as the CLI's --strategy flag — both delegate to the one
+   name map in Pipeline, so an engine wired there is reachable here. *)
+let strategy_of_string = Caqr.Pipeline.strategy_of_name
 
 let ( let* ) = Result.bind
 

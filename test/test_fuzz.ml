@@ -171,6 +171,62 @@ let test_corpus_missing_dir () =
   check int "missing dir loads empty" 0
     (List.length (Fuzz.Corpus.load "/nonexistent/corpus/dir"))
 
+(* ---- Engines oracle: the cross-engine battery ---- *)
+
+let test_engines_clean_roster () =
+  (* The production roster (QS, Cone, GidNET, SR) must agree on
+     generated circuits: every artifact well-formed, every certificate
+     revalidating, every width inside [min engines, baseline]. *)
+  for seed = 0 to 24 do
+    let c = Fuzz.Gen.circuit Fuzz.Gen.default (Fuzz.Prng.make seed) in
+    match Fuzz.Oracle.check_engines_with ~seed Fuzz.Oracle.cross_engines c with
+    | Fuzz.Oracle.Pass -> ()
+    | Fuzz.Oracle.Fail why -> Alcotest.failf "seed %d: %s" seed why
+  done
+
+(* A deliberately buggy engine: it claims one wire fewer than its
+   artifact actually uses. The battery's width-claim cross-check must
+   outvote it against the three honest engines. *)
+let buggy_engine =
+  ( "buggy",
+    fun c ->
+      {
+        Fuzz.Oracle.ea_circuit = c;
+        ea_pairs = Some [];
+        ea_width = max 0 (Caqr.Reuse.qubit_usage c - 1);
+        ea_slack = 0;
+      } )
+
+let test_engines_buggy_caught_and_shrunk () =
+  let roster = Fuzz.Oracle.cross_engines @ [ buggy_engine ] in
+  let fails c =
+    match Fuzz.Oracle.check_engines_with ~seed:11 roster c with
+    | Fuzz.Oracle.Fail _ -> true
+    | Fuzz.Oracle.Pass -> false
+  in
+  let c = Fuzz.Gen.circuit Fuzz.Gen.default (Fuzz.Prng.make 11) in
+  check bool "buggy engine caught" true (fails c);
+  (match Fuzz.Oracle.check_engines_with ~seed:11 roster c with
+  | Fuzz.Oracle.Fail why ->
+    (* The verdict must name the culprit, not just "failed". *)
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    check bool "failure names the buggy engine" true (contains why "buggy")
+  | Fuzz.Oracle.Pass -> Alcotest.fail "expected a failure");
+  (* The generic shrinker applies: a minimal repro still fails and the
+     empty circuit (zero active wires, claim trivially honest) passes,
+     so shrinking cannot overshoot to nothing. *)
+  let m, _ = Fuzz.Shrink.minimize ~still_fails:fails c in
+  check bool "minimized still fails" true (fails m);
+  check bool "shrinker made progress" true (C.gate_count m < C.gate_count c);
+  check bool "minimal repro keeps a live wire" true
+    (Caqr.Reuse.qubit_usage m >= 1)
+
 (* ---- Driver ---- *)
 
 let test_driver_battery () =
@@ -207,6 +263,13 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
           Alcotest.test_case "missing dir" `Quick test_corpus_missing_dir;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "clean roster agrees" `Quick
+            test_engines_clean_roster;
+          Alcotest.test_case "buggy engine caught and shrunk" `Quick
+            test_engines_buggy_caught_and_shrunk;
         ] );
       ( "driver",
         [ Alcotest.test_case "battery" `Quick test_driver_battery ] );

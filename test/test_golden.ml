@@ -46,6 +46,8 @@ let strategies =
     ("baseline", Caqr.Pipeline.Baseline);
     ("qs-max-reuse", Caqr.Pipeline.Qs_max_reuse);
     ("sr", Caqr.Pipeline.Sr);
+    ("cone", Caqr.Pipeline.Cone);
+    ("gidnet", Caqr.Pipeline.Gidnet);
   ]
 
 let compiled_qasm (e : Benchmarks.Suite.entry) strategy =

@@ -88,8 +88,63 @@ let test_strategy_names () =
                Caqr.Pipeline.Qs_min_depth;
                Caqr.Pipeline.Qs_target 3;
                Caqr.Pipeline.Sr;
+               Caqr.Pipeline.Cone;
+               Caqr.Pipeline.Gidnet;
              ]))
-    = 5)
+    = 7)
+
+let test_cone_strategy () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Cone (bv 10) in
+  check int "2 qubits" 2 r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used;
+  check bool "pairs recorded" true (r.Caqr.Pipeline.reuse_pairs > 0)
+
+let test_gidnet_strategy () =
+  let r = Caqr.Pipeline.compile mumbai Caqr.Pipeline.Gidnet (bv 10) in
+  check int "2 qubits" 2 r.Caqr.Pipeline.stats.Transpiler.Transpile.qubits_used;
+  check bool "pairs recorded" true (r.Caqr.Pipeline.reuse_pairs > 0)
+
+(* The name grammar is the single strategy surface shared by the CLI and
+   the service protocol: every named strategy, and the parameterized
+   target spellings, must survive strategy_name -> strategy_of_name
+   exactly. *)
+let test_strategy_roundtrip () =
+  check int "registry covers the named strategies" 7
+    (List.length Caqr.Pipeline.all_strategies);
+  List.iter
+    (fun (name, s) ->
+      (match Caqr.Pipeline.strategy_of_name name with
+      | Ok s' -> check bool (name ^ " parses to its variant") true (s' = s)
+      | Error e -> Alcotest.failf "%s rejected: %s" name e);
+      check bool
+        (name ^ " spelling is canonical")
+        true
+        (Caqr.Pipeline.strategy_name s = name))
+    Caqr.Pipeline.all_strategies;
+  List.iter
+    (fun n ->
+      let s = Caqr.Pipeline.Qs_target n in
+      check bool
+        (Printf.sprintf "qs-target-%d round-trips" n)
+        true
+        (Caqr.Pipeline.strategy_of_name (Caqr.Pipeline.strategy_name s) = Ok s))
+    [ 1; 4; 17 ];
+  check bool "bare int is target sugar" true
+    (Caqr.Pipeline.strategy_of_name "6" = Ok (Caqr.Pipeline.Qs_target 6));
+  match Caqr.Pipeline.strategy_of_name "qs-fastest" with
+  | Ok _ -> Alcotest.fail "unknown strategy accepted"
+  | Error e ->
+    (* The rejection must teach the full grammar. *)
+    List.iter
+      (fun (name, _) ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        check bool ("error mentions " ^ name) true (contains e name))
+      Caqr.Pipeline.all_strategies
 
 let test_physical_semantics_end_to_end () =
   (* Whatever the strategy, the physical circuit must compute BV's secret. *)
@@ -106,6 +161,8 @@ let test_physical_semantics_end_to_end () =
       Caqr.Pipeline.Qs_max_reuse;
       Caqr.Pipeline.Qs_min_depth;
       Caqr.Pipeline.Sr;
+      Caqr.Pipeline.Cone;
+      Caqr.Pipeline.Gidnet;
     ]
 
 let () =
@@ -120,8 +177,11 @@ let () =
           Alcotest.test_case "target reachable" `Quick test_target_reachable;
           Alcotest.test_case "target unreachable" `Quick test_target_unreachable;
           Alcotest.test_case "sr" `Quick test_sr_strategy;
+          Alcotest.test_case "cone" `Quick test_cone_strategy;
+          Alcotest.test_case "gidnet" `Quick test_gidnet_strategy;
           Alcotest.test_case "commutable" `Quick test_commutable_input;
           Alcotest.test_case "names" `Quick test_strategy_names;
+          Alcotest.test_case "name round-trip" `Quick test_strategy_roundtrip;
         ] );
       ( "applicability",
         [

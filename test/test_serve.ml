@@ -163,7 +163,7 @@ let test_digest_golden_distinct () =
     |> List.filter (fun f -> Filename.check_suffix f ".qasm")
     |> List.sort compare
   in
-  check bool "all golden artifacts present" true (List.length files >= 21);
+  check bool "all golden artifacts present" true (List.length files >= 35);
   let digests =
     List.map
       (fun f ->
@@ -172,14 +172,22 @@ let test_digest_golden_distinct () =
         | Error e -> Alcotest.failf "%s failed to parse: %s" f e.Guard.Error.detail)
       files
   in
-  (* Every (benchmark, strategy) artifact is a different circuit; their
-     content addresses must all differ or the cache would conflate
-     compiled programs. *)
+  (* Artifacts of different benchmarks must never share a content
+     address, or the cache would conflate compiled programs. Two
+     strategies may legitimately converge on the same circuit for the
+     same benchmark (cone and gidnet often land exactly on the QS
+     artifact); the cache separates those by strategy fingerprint, not
+     by digest. *)
+  let benchmark_of f =
+    match String.index_opt f '.' with
+    | Some i -> String.sub f 0 i
+    | None -> f
+  in
   List.iteri
     (fun i (fi, di) ->
       List.iteri
         (fun j (fj, dj) ->
-          if i < j && di = dj then
+          if i < j && di = dj && benchmark_of fi <> benchmark_of fj then
             Alcotest.failf "digest collision between %s and %s" fi fj)
         digests)
     digests
@@ -368,6 +376,31 @@ let test_handler_no_cache () =
   check bool "bypass never hits" true
     (contains r1 "\"cache\":\"none\"" && contains r2 "\"cache\":\"none\"");
   check string "but stays deterministic" (result_part r1) (result_part r2)
+
+(* Every named strategy owns its own cache line: compiling the same
+   benchmark under each must be a fresh miss, and each warm repeat a
+   byte-identical hit. The options fingerprint carries the strategy
+   name, so two engines that emit the same circuit (cone and gidnet
+   often land exactly on the QS artifact) still never share an entry. *)
+let test_handler_strategy_cache_lines () =
+  let t = server () in
+  List.iter
+    (fun (name, _) ->
+      let req =
+        Printf.sprintf {|{"op":"compile","bench":"BV_10","strategy":"%s"}|}
+          name
+      in
+      let cold, _ = Serve.Server.handle_line t req in
+      check bool (name ^ " cold is a miss") true
+        (contains cold "\"cache\":\"miss\"");
+      check bool (name ^ " result names its strategy") true
+        (contains cold (Printf.sprintf "\"strategy\":\"%s\"" name));
+      let warm, _ = Serve.Server.handle_line t req in
+      check bool (name ^ " warm is a hit") true
+        (contains warm "\"cache\":\"hit\"");
+      check string (name ^ " replay is byte-identical") (result_part cold)
+        (result_part warm))
+    Caqr.Pipeline.all_strategies
 
 let test_handler_deadline_keeps_serving () =
   let t = server () in
@@ -878,6 +911,8 @@ let () =
           Alcotest.test_case "cache hit is byte-identical" `Quick
             test_handler_cache_hit_byte_identical;
           Alcotest.test_case "no_cache bypass" `Quick test_handler_no_cache;
+          Alcotest.test_case "per-strategy cache lines" `Quick
+            test_handler_strategy_cache_lines;
           Alcotest.test_case "deadline trips, daemon survives" `Quick
             test_handler_deadline_keeps_serving;
           Alcotest.test_case "admission and structured errors" `Quick
