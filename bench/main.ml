@@ -812,7 +812,7 @@ let engines_exp () =
 (* The incremental analysis engine must reproduce the fresh engine's
    sweep exactly while doing a fraction of the analysis work.  The
    comparison runs both engines over every regular benchmark and writes
-   BENCH_caqr.json (schema caqr-bench/3) for CI to archive. *)
+   BENCH_caqr.json (schema caqr-bench/4) for CI to archive. *)
 
 type engine_run = {
   er_steps : Caqr.Qs_caqr.step list;
@@ -869,6 +869,89 @@ let engine_json b r =
        r.er_wall_s r.er_analyze_s r.er_analyze_fresh r.er_analyze_incremental
        r.er_search_nodes r.er_cache_hits r.er_cache_misses)
 
+(* -------------------------------------------------------------- anytime *)
+
+(* The quality/time dial: the QS engine under shrinking wall-clock
+   budgets on the large corpus. Each point runs the full anytime search
+   inside a scoped budget and records the incumbent's width — the curve
+   these rows trace is the contract the ISSUE's dial sells: more time,
+   never a wider circuit. *)
+
+type any_point = {
+  ap_budget_ms : int;
+  ap_width : int;
+  ap_pairs : int;
+  ap_quality : string;
+  ap_wall_s : float;
+}
+
+type any_row = {
+  ar_benchmark : string;
+  ar_qubits : int;
+  ar_points : any_point list;
+}
+
+let anytime_budgets_ms = [ 150; 400; 1000; 2500 ]
+
+let anytime_benchmarks =
+  [
+    "qaoa-powerlaw-100";
+    "qaoa-powerlaw-250";
+    "cuccaro-128";
+    "qft-layered-100";
+    "rand-dyn-100";
+  ]
+
+let anytime_measurements () =
+  List.map
+    (fun name ->
+      let g = Option.get (Benchmarks.Large.find_opt name) in
+      let c = g.Benchmarks.Large.build () in
+      let points =
+        List.map
+          (fun ms ->
+            Obs.Metrics.reset ();
+            let a =
+              Obs.Metrics.time "perf.anytime" @@ fun () ->
+              Guard.Budget.scoped (Guard.Budget.make ~ms ()) (fun () ->
+                  Caqr.Qs_caqr.max_reuse_anytime c)
+            in
+            {
+              ap_budget_ms = ms;
+              ap_width = a.Caqr.Qs_caqr.width;
+              ap_pairs = List.length a.Caqr.Qs_caqr.pairs;
+              ap_quality = Caqr.Quality.name a.Caqr.Qs_caqr.quality;
+              ap_wall_s = Obs.Metrics.timing "perf.anytime";
+            })
+          anytime_budgets_ms
+      in
+      {
+        ar_benchmark = name;
+        ar_qubits = c.Quantum.Circuit.num_qubits;
+        ar_points = points;
+      })
+    anytime_benchmarks
+
+let anytime_exp () =
+  section "anytime" "QS width vs wall-clock budget on the large corpus";
+  Printf.printf "%-18s %-7s" "benchmark" "qubits";
+  List.iter
+    (fun ms -> Printf.printf " %9s" (Printf.sprintf "%dms" ms))
+    anytime_budgets_ms;
+  print_newline ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %-7d" r.ar_benchmark r.ar_qubits;
+      List.iter
+        (fun p ->
+          Printf.printf " %9s"
+            (Printf.sprintf "%d%s" p.ap_width
+               (if p.ap_quality = "exact" then "*" else "")))
+        r.ar_points;
+      print_newline ())
+    (anytime_measurements ());
+  Printf.printf "   (* = exact: the search completed inside the budget)\n"
+
 let perf () =
   section "perf" "incremental vs fresh analysis engine (BENCH_caqr.json)";
   let ratio num den = num /. Float.max 1e-9 den in
@@ -910,7 +993,7 @@ let perf () =
   Printf.printf "=> engines agree on every sweep: %b\n" all_identical;
   if not all_identical then incr structural_violations;
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"caqr-bench/3\",\"suite\":[";
+  Buffer.add_string b "{\"schema\":\"caqr-bench/4\",\"suite\":[";
   List.iteri
     (fun i (e, inc, fresh, identical, work, speedup) ->
       if i > 0 then Buffer.add_char b ',';
@@ -968,6 +1051,27 @@ let perf () =
         row.eng_cells;
       Buffer.add_string b "]}")
     eng;
+  Buffer.add_string b "]";
+  (* caqr-bench/4: the anytime quality/time dial (QS width vs wall
+     budget on the large corpus). *)
+  let any = anytime_measurements () in
+  Buffer.add_string b ",\"anytime\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"benchmark\":%S,\"qubits\":%d,\"points\":["
+           r.ar_benchmark r.ar_qubits);
+      List.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"budget_ms\":%d,\"width\":%d,\"pairs\":%d,\"quality\":%S,\"wall_s\":%.6f}"
+               p.ap_budget_ms p.ap_width p.ap_pairs p.ap_quality p.ap_wall_s))
+        r.ar_points;
+      Buffer.add_string b "]}")
+    any;
   Buffer.add_string b "]}";
   Buffer.add_char b '\n';
   let oc = open_out "BENCH_caqr.json" in
@@ -1198,6 +1302,7 @@ let experiments =
     ("parallel", parallel_exp);
     ("engines", engines_exp);
     ("perf", perf);
+    ("anytime", anytime_exp);
     ("micro", micro);
   ]
 

@@ -186,15 +186,22 @@ let device_for (e : Benchmarks.Suite.entry) =
 
 let list_cmd =
   let run () =
-    Printf.printf "%-14s %-11s %s\n" "name" "kind" "description";
+    Printf.printf "%-20s %-11s %s\n" "name" "kind" "description";
     List.iter
       (fun (e : Benchmarks.Suite.entry) ->
-        Printf.printf "%-14s %-11s %s\n" e.Benchmarks.Suite.name
+        Printf.printf "%-20s %-11s %s\n" e.Benchmarks.Suite.name
           (match e.Benchmarks.Suite.kind with
            | Benchmarks.Suite.Regular -> "regular"
            | Benchmarks.Suite.Commutable _ -> "commutable")
           e.Benchmarks.Suite.description)
-      (Benchmarks.Suite.table1 ())
+      (Benchmarks.Suite.table1 ());
+    (* The large corpus lists from its generator table — names and
+       descriptions only, no 1000-qubit construction. *)
+    List.iter
+      (fun (g : Benchmarks.Large.gen) ->
+        Printf.printf "%-20s %-11s %s\n" g.Benchmarks.Large.name "regular"
+          g.Benchmarks.Large.description)
+      (Benchmarks.Large.generators ())
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "list" ~doc:"List the benchmark registry")
@@ -210,10 +217,11 @@ let compile_cmd =
         ~options:(options_for ~jobs ?deadline_ms ~fallback timings)
         device strategy (input_of_entry entry)
     in
-    Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@."
+    Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@.  quality: %s@."
       entry.Benchmarks.Suite.name
       (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy)
-      Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+      Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs
+      (Caqr.Quality.to_string r.Caqr.Pipeline.quality);
     print_metrics r;
     if qasm then
       print_string
@@ -289,9 +297,10 @@ let qasmc_cmd =
           ~options:(options_for ~jobs ?deadline_ms ~fallback timings)
           device strategy (Caqr.Pipeline.Regular circuit)
       in
-      Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@." path
+      Format.printf "%s / %s:@.  %a@.  reuse pairs: %d@.  quality: %s@." path
         (Caqr.Pipeline.strategy_name r.Caqr.Pipeline.strategy)
-        Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs;
+        Transpiler.Transpile.pp_stats r.Caqr.Pipeline.stats r.Caqr.Pipeline.reuse_pairs
+        (Caqr.Quality.to_string r.Caqr.Pipeline.quality);
       print_metrics r;
       if qasm then
         print_string

@@ -68,7 +68,23 @@ let qaoa_table1 () =
 
 let table1 () = regular () @ qaoa_table1 ()
 
+let entry_of_gen (g : Large.gen) =
+  {
+    name = g.Large.name;
+    kind = Regular;
+    circuit = g.Large.build ();
+    description = g.Large.description;
+  }
+
+let large () = List.map entry_of_gen (Large.generators ())
+let all () = table1 () @ large ()
+
 let find name =
   match List.find_opt (fun e -> e.name = name) (table1 ()) with
   | Some e -> e
-  | None -> raise Not_found
+  | None ->
+    (* Large circuits build on demand: resolving a Table-1 name never
+       pays for 1000-qubit construction. *)
+    (match Large.find_opt name with
+     | Some g -> entry_of_gen g
+     | None -> raise Not_found)

@@ -27,5 +27,15 @@ val qaoa_table1 : unit -> entry list
 (** All of Table 1: [regular () @ qaoa_table1 ()]. *)
 val table1 : unit -> entry list
 
-(** [find name] looks an entry up in [table1]. Raises [Not_found]. *)
+(** The large-circuit corpus ({!Large}: qaoa-powerlaw, cuccaro,
+    qft-layered, rand-dyn at 100–256 qubits) as registry entries —
+    all [Regular]. Building the list constructs every circuit; prefer
+    {!find} (lazy per-name) when only one is needed. *)
+val large : unit -> entry list
+
+(** Everything the registry knows: [table1 () @ large ()]. *)
+val all : unit -> entry list
+
+(** [find name] looks an entry up in [table1], then in the large
+    corpus (built on demand). Raises [Not_found]. *)
 val find : string -> entry

@@ -26,6 +26,7 @@ type result = {
   pairs : Reuse.pair list;
   width : int;
   order : int list;
+  quality : Quality.t;
 }
 
 let cone_of analysis active q =
@@ -85,19 +86,39 @@ let run c =
       | None -> host.(p) <- p
     end
   in
-  List.iter
-    (fun q ->
-      let members =
-        List.sort (fun a b -> compare (rank.(a), a) (rank.(b), b)) cones.(q)
+  (* Commit-so-far: every pair in [pairs] was applied to [analysis]
+     before the next budget poll, so a wall-clock trip mid-walk leaves a
+     consistent (circuit, pairs) prefix — returned as an [Anytime]
+     partial result instead of thrown away. *)
+  let quality =
+    match
+      List.iter
+        (fun q ->
+          let members =
+            List.sort (fun a b -> compare (rank.(a), a) (rank.(b), b)) cones.(q)
+          in
+          List.iter allocate members;
+          (* [q]'s cone is complete: its wire is measured-then-reset and
+             rejoins the pool for the next allocation. *)
+          free := !free @ [ host.(q) ])
+        order
+    with
+    | () -> Quality.Exact
+    | exception Guard.Error.Budget_exceeded _ ->
+      Obs.Metrics.incr "cone.anytime.returns";
+      let unallocated =
+        List.length (List.filter (fun q -> not allocated.(q)) active)
       in
-      List.iter allocate members;
-      (* [q]'s cone is complete: its wire is measured-then-reset and
-         rejoins the pool for the next allocation. *)
-      free := !free @ [ host.(q) ])
-    order;
+      Quality.Anytime
+        {
+          steps_done = List.length !pairs;
+          frontier_left = unallocated;
+        }
+  in
   {
     circuit = Reuse.circuit !analysis;
     pairs = List.rev !pairs;
     width = Reuse.usage !analysis;
     order;
+    quality;
   }

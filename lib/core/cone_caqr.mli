@@ -26,9 +26,16 @@ type result = {
   width : int;  (** active qubits of [circuit] *)
   order : int list;
       (** the cone-size measurement order the walk followed *)
+  quality : Quality.t;
+      (** {!Quality.Exact} when the walk completed; {!Quality.Anytime}
+          when a wall-clock budget trip cut it short and the committed
+          prefix is returned instead *)
 }
 
 (** [run circuit] — deterministic: the result is a pure function of the
     input circuit (ties broken by qubit id). Hot loops poll
-    {!Guard.Budget} at stage ["core.cone"]. *)
+    {!Guard.Budget} at stage ["core.cone"]; a budget trip is {e not} an
+    error — the walk commits pair by pair, so the pairs applied before
+    the trip are returned as an anytime partial result (metric
+    ["cone.anytime.returns"]). *)
 val run : Quantum.Circuit.t -> result

@@ -23,6 +23,7 @@ type result = {
   pairs : Reuse.pair list;
   width : int;
   chains : int list list;
+  quality : Quality.t;
 }
 
 (* Longest greedy path from [s] over successor lists [succs]. *)
@@ -77,9 +78,11 @@ let run c =
   let analysis = ref (Reuse.analyze c) in
   let pairs = ref [] and chains = ref [] in
   let tick = Guard.Budget.ticker ~stage:"core.gidnet" ~site:"gidnet.chain" () in
+  let pending = ref 0 in
   let rec rounds () =
     let cands = Reuse.valid_pairs !analysis in
     if cands <> [] then begin
+      pending := List.length cands;
       tick ();
       match best_chain ~k cands with
       | host :: rest ->
@@ -99,10 +102,21 @@ let run c =
       | [] -> ()
     end
   in
-  rounds ();
+  (* Commit-so-far: the budget is only polled between rounds, and every
+     committed link already updated [analysis], so a trip surfaces the
+     chains extracted so far as an [Anytime] partial result. *)
+  let quality =
+    match rounds () with
+    | () -> Quality.Exact
+    | exception Guard.Error.Budget_exceeded _ ->
+      Obs.Metrics.incr "gidnet.anytime.returns";
+      Quality.Anytime
+        { steps_done = List.length !pairs; frontier_left = !pending }
+  in
   {
     circuit = Reuse.circuit !analysis;
     pairs = List.rev !pairs;
     width = Reuse.usage !analysis;
     chains = List.rev !chains;
+    quality;
   }

@@ -26,8 +26,15 @@ type result = {
   chains : int list list;
       (** the committed chains, oldest first; each starts with its host
           wire followed by the qubits folded onto it *)
+  quality : Quality.t;
+      (** {!Quality.Exact} when every round ran to quiescence;
+          {!Quality.Anytime} when a wall-clock budget trip ended the
+          chain extraction early — the chains committed so far stand *)
 }
 
 (** [run circuit] — deterministic: a pure function of the input circuit.
-    Hot loops poll {!Guard.Budget} at stage ["core.gidnet"]. *)
+    Hot loops poll {!Guard.Budget} at stage ["core.gidnet"]; a budget
+    trip between rounds returns the chains committed so far as an
+    anytime partial result (metric ["gidnet.anytime.returns"]) rather
+    than raising. *)
 val run : Quantum.Circuit.t -> result

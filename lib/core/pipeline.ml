@@ -48,6 +48,7 @@ type report = {
   physical : Quantum.Circuit.t;
   stats : Transpiler.Transpile.stats;
   reuse_pairs : int;
+  quality : Quality.t;
   verification : Verify.verdict option;
   metrics : Obs.Metrics.snapshot option;
   degraded : degraded list;
@@ -150,6 +151,7 @@ let finish device strategy logical reuse_pairs =
     physical = routed.Transpiler.Transpile.physical;
     stats = routed.Transpiler.Transpile.stats;
     reuse_pairs;
+    quality = Quality.Exact;
     verification = None;
     metrics = None;
     degraded = [];
@@ -178,6 +180,14 @@ let finish_candidates ~jobs device strategy steps =
       (finish device strategy c (List.length pairs), Some pairs))
     steps
 
+(* Share of the remaining wall budget granted to the reuse engine; the
+   rest is reserved for routing and verification, which must complete
+   even on an anytime (partial) engine result — a budget trip *after*
+   the engine is a hard error and rides the ladder as before. *)
+let engine_share = 0.6
+
+let scoped_engine f = Guard.Budget.scoped (Guard.Budget.fraction engine_share) f
+
 let compile_unverified ~search ~jobs device strategy input ~original =
   match strategy with
   | Baseline -> (finish device strategy original 0, Some [])
@@ -193,6 +203,7 @@ let compile_unverified ~search ~jobs device strategy input ~original =
         physical = r.Sr_caqr.physical;
         stats = Transpiler.Transpile.stats_of device r.Sr_caqr.physical;
         reuse_pairs = r.Sr_caqr.reuses;
+        quality = Quality.Exact;
         verification = None;
         metrics = None;
         degraded = [];
@@ -203,15 +214,15 @@ let compile_unverified ~search ~jobs device strategy input ~original =
   | Qs_max_reuse ->
     (match input with
      | Regular c ->
-       let target = Qs_caqr.min_qubits ~opts:search c in
-       let reused, pairs =
-         match Qs_caqr.search ~opts:search ~target c with
-         | Some r -> r
-         | None -> (c, [])
-       in
-       ( finish device strategy reused
-           (Quantum.Circuit.mid_circuit_measurements reused),
-         Some pairs )
+       let a = scoped_engine (fun () -> Qs_caqr.max_reuse_anytime ~opts:search c) in
+       let reused = a.Qs_caqr.circuit in
+       ( {
+           (finish device strategy reused
+              (Quantum.Circuit.mid_circuit_measurements reused))
+           with
+           quality = a.Qs_caqr.quality;
+         },
+         Some a.Qs_caqr.pairs )
      | Commutable _ ->
        (match List.rev (qs_steps ~search input) with
         | (c, pairs) :: _ ->
@@ -242,8 +253,13 @@ let compile_unverified ~search ~jobs device strategy input ~original =
      | best :: _ -> best
      | [] -> invalid_arg "Pipeline.compile: empty sweep")
   | Cone ->
-    let r = Cone_caqr.run original in
-    ( finish device strategy r.Cone_caqr.circuit (List.length r.Cone_caqr.pairs),
+    let r = scoped_engine (fun () -> Cone_caqr.run original) in
+    ( {
+        (finish device strategy r.Cone_caqr.circuit
+           (List.length r.Cone_caqr.pairs))
+        with
+        quality = r.Cone_caqr.quality;
+      },
       (* On commutable inputs the pairs transform the *emitted* circuit,
          not the problem graph — the commutable structural checker would
          misread them, so only regular inputs surface pairs. *)
@@ -251,27 +267,44 @@ let compile_unverified ~search ~jobs device strategy input ~original =
       | Regular _ -> Some r.Cone_caqr.pairs
       | Commutable _ -> None )
   | Gidnet ->
-    let r = Gidnet_caqr.run original in
-    ( finish device strategy r.Gidnet_caqr.circuit
-        (List.length r.Gidnet_caqr.pairs),
+    let r = scoped_engine (fun () -> Gidnet_caqr.run original) in
+    ( {
+        (finish device strategy r.Gidnet_caqr.circuit
+           (List.length r.Gidnet_caqr.pairs))
+        with
+        quality = r.Gidnet_caqr.quality;
+      },
       match input with
       | Regular _ -> Some r.Gidnet_caqr.pairs
       | Commutable _ -> None )
   | Qs_target target ->
-    let found =
-      match input with
-      | Regular c -> Qs_caqr.search ~opts:search ~target c
-      | Commutable _ ->
-        List.find_opt
-          (fun (c, _) -> Reuse.qubit_usage c <= target)
-          (qs_steps ~search input)
-    in
-    (match found with
-     | Some (c, pairs) ->
-       (finish device strategy c (List.length pairs), Some pairs)
-     | None ->
-       failwith
-         (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
+    (match input with
+     | Regular c ->
+       (match
+          scoped_engine (fun () -> Qs_caqr.search_anytime ~opts:search ~target c)
+        with
+        | Some a ->
+          ( {
+              (finish device strategy a.Qs_caqr.circuit
+                 (List.length a.Qs_caqr.pairs))
+              with
+              quality = a.Qs_caqr.quality;
+            },
+            Some a.Qs_caqr.pairs )
+        | None ->
+          failwith
+            (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target))
+     | Commutable _ ->
+       (match
+          List.find_opt
+            (fun (c, _) -> Reuse.qubit_usage c <= target)
+            (qs_steps ~search input)
+        with
+        | Some (c, pairs) ->
+          (finish device strategy c (List.length pairs), Some pairs)
+        | None ->
+          failwith
+            (Printf.sprintf "Pipeline.compile: cannot reach %d qubits" target)))
 
 (* The degradation ladder (most capable first): a reuse strategy that
    blows up demotes to the cheaper reuse search, which demotes to plain

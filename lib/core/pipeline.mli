@@ -84,6 +84,14 @@ type report = {
   physical : Quantum.Circuit.t;
   stats : Transpiler.Transpile.stats;
   reuse_pairs : int;
+  quality : Quality.t;
+      (** {!Quality.Exact} when the reuse engine ran to natural
+          completion (always the case for [Baseline] and [Sr]);
+          {!Quality.Anytime} when the wall-clock budget (or the QS node
+          cap) cut the engine short and the report carries its best
+          incumbent instead. Anytime artifacts are fully routed and
+          verifiable — only their reuse count may be short of what an
+          unbounded run would find. *)
   verification : Verify.verdict option;
       (** translation-validation verdict, present when [compile] was
           asked to verify *)
@@ -98,6 +106,15 @@ type report = {
 
 (** [compile ?options device strategy input]. [Qs_target] raises
     [Failure] when the budget is unreachable.
+
+    The reuse-engine phase runs under a scoped share (60%) of the
+    remaining wall budget, reserving headroom for routing and
+    verification. An engine-phase budget trip is not a failure: the
+    anytime engines ([Qs_max_reuse], [Qs_target], [Cone], [Gidnet])
+    commit their best-so-far result and the report is tagged
+    [quality = Anytime _] — the ladder only demotes on hard errors. A
+    trip during routing or verification still raises (and rides the
+    ladder when [options.fallback] is set).
 
     With [options.verify], the compiled artifact is independently
     validated at the requested {!Verify.level} (structural reuse

@@ -77,9 +77,17 @@ let ordered_candidates order objective analysis =
     | Chain ->
       (Reuse.src_finish_depth analysis p, Reuse.dst_start_depth analysis p)
   in
-  List.sort
-    (fun a b -> compare (key a) (key b))
-    (Reuse.valid_pairs analysis)
+  (* Decorate-sort-undecorate with a stable sort: same order as sorting
+     with [key] in the comparator (ties keep [valid_pairs] order), but
+     each key is computed once — the candidate lists of 100-1000 qubit
+     circuits run to ~k^2 entries, where comparator-side key evaluation
+     dominated the whole search. *)
+  let decorated =
+    Array.of_list
+      (List.map (fun p -> (key p, p)) (Reuse.valid_pairs analysis))
+  in
+  Array.stable_sort (fun (ka, _) (kb, _) -> compare ka kb) decorated;
+  Array.fold_right (fun (_, p) acc -> p :: acc) decorated []
 
 (* ---- The memoizing incremental engine ----
 
@@ -131,30 +139,58 @@ let candidates_for cache order objective analysis rev_pairs =
   cached cache.candidates key (fun () ->
       ordered_candidates order objective analysis)
 
-let search_incremental ~cache order objective budget target circuit =
+(* The anytime layer watches the DFS through this hook: [note] fires on
+   every node (usage, transformed circuit, reversed pair prefix) so an
+   incumbent can be maintained, and [frontier] tracks how many counted
+   candidate branches were never tried — positive deltas when a node's
+   candidate list is generated, -1 as each is attempted. *)
+type observer = {
+  note : int -> Quantum.Circuit.t -> Reuse.pair list -> unit;
+  frontier : int -> unit;
+}
+
+(* A search ends one of three ways, and the quality marker needs to tell
+   the last two apart: [Exhausted] means the whole space (under this
+   candidate ordering) was explored, [Cut] means the node cap ended it
+   early — more budget could still find a solution. *)
+type outcome =
+  | Found of Quantum.Circuit.t * Reuse.pair list
+  | Exhausted
+  | Cut
+
+let search_incremental ?observer ~cache order objective budget target circuit =
   let nodes = ref 0 in
+  let note u c rp = match observer with Some o -> o.note u c rp | None -> () in
+  let frontier d =
+    match observer with Some o -> o.frontier d | None -> ()
+  in
   let rec go analysis rev_pairs =
     if Reuse.usage analysis <= target then
-      Some (Reuse.circuit analysis, List.rev rev_pairs)
-    else if !nodes > budget then None
+      Found (Reuse.circuit analysis, List.rev rev_pairs)
+    else if !nodes > budget then Cut
     else begin
+      let cands = candidates_for cache order objective analysis rev_pairs in
+      frontier (List.length cands);
       let rec attempt = function
-        | [] -> None
+        | [] -> Exhausted
         | p :: rest ->
           incr nodes;
           Obs.Metrics.incr "qs.search.nodes";
           Guard.Inject.hit "qs.search";
           Guard.Budget.checkpoint ~stage:"core.qs" ~site:"qs.search";
-          if !nodes > budget then None
+          if !nodes > budget then Cut
           else begin
+            frontier (-1);
             let rev_pairs' = p :: rev_pairs in
             let child = child_analysis cache analysis p rev_pairs' in
+            note (Reuse.usage child) (Reuse.circuit child) rev_pairs';
             match go child rev_pairs' with
-            | Some r -> Some r
-            | None -> attempt rest
+            | Found _ as r -> r
+            | Cut -> Cut
+            | Exhausted -> attempt rest
           end
       in
-      attempt (candidates_for cache order objective analysis rev_pairs)
+      attempt cands
     end
   in
   go (root_analysis cache circuit) []
@@ -162,47 +198,73 @@ let search_incremental ~cache order objective budget target circuit =
 (* Reference engine: rebuild circuit + closure from scratch at every DFS
    node, exactly as the pre-incremental implementation did. Kept for
    differential testing and for the perf baseline in bench/main.ml. *)
-let search_fresh order objective budget target circuit =
+let search_fresh ?observer order objective budget target circuit =
   let nodes = ref 0 in
+  let note c rp =
+    match observer with
+    | Some o -> o.note (Reuse.qubit_usage c) c rp
+    | None -> ()
+  in
+  let frontier d =
+    match observer with Some o -> o.frontier d | None -> ()
+  in
   let rec go circuit pairs =
-    if Reuse.qubit_usage circuit <= target then Some (circuit, List.rev pairs)
-    else if !nodes > budget then None
+    if Reuse.qubit_usage circuit <= target then Found (circuit, List.rev pairs)
+    else if !nodes > budget then Cut
     else begin
       let analysis = Reuse.analyze circuit in
+      let cands = ordered_candidates order objective analysis in
+      frontier (List.length cands);
       let rec attempt = function
-        | [] -> None
+        | [] -> Exhausted
         | p :: rest ->
           incr nodes;
           Obs.Metrics.incr "qs.search.nodes";
           Guard.Inject.hit "qs.search";
           Guard.Budget.checkpoint ~stage:"core.qs" ~site:"qs.search";
-          if !nodes > budget then None
+          if !nodes > budget then Cut
           else begin
-            match go (Reuse.apply circuit p) (p :: pairs) with
-            | Some r -> Some r
-            | None -> attempt rest
+            frontier (-1);
+            let child = Reuse.apply circuit p in
+            let pairs' = p :: pairs in
+            note child pairs';
+            match go child pairs' with
+            | Found _ as r -> r
+            | Cut -> Cut
+            | Exhausted -> attempt rest
           end
       in
-      attempt (ordered_candidates order objective analysis)
+      attempt cands
     end
   in
   go circuit []
 
-let search_with ~cache opts order target circuit =
+let search_with ?observer ~cache opts order target circuit =
   match opts.engine with
   | Incremental ->
-    search_incremental ~cache order opts.objective opts.budget target circuit
-  | Fresh -> search_fresh order opts.objective opts.budget target circuit
+    search_incremental ?observer ~cache order opts.objective opts.budget
+      target circuit
+  | Fresh -> search_fresh ?observer order opts.objective opts.budget target circuit
 
-let search_in ~cache opts target circuit =
+let search_out ?observer ~cache opts target circuit =
   Obs.Metrics.incr "qs.searches";
   Obs.Metrics.time "time.search" @@ fun () ->
   match opts.order with
-  | (Score | Chain) as order -> search_with ~cache opts order target circuit
+  | (Score | Chain) as order ->
+    search_with ?observer ~cache opts order target circuit
   | Both -> (
-    match search_with ~cache opts Score target circuit with
-    | Some r -> Some r
-    | None -> search_with ~cache opts Chain target circuit)
+    match search_with ?observer ~cache opts Score target circuit with
+    | Found _ as r -> r
+    | first -> (
+      match search_with ?observer ~cache opts Chain target circuit with
+      | Found _ as r -> r
+      | Exhausted -> first (* Cut on the Score pass still means "cut" *)
+      | Cut -> Cut))
+
+let found = function Found (c, pairs) -> Some (c, pairs) | Exhausted | Cut -> None
+
+let search_in ~cache opts target circuit =
+  found (search_out ~cache opts target circuit)
 
 let search ?(opts = default_opts) ~target circuit =
   search_in ~cache:(new_cache ()) opts target circuit
@@ -246,3 +308,89 @@ let opportunity circuit =
   match Reuse.valid_pairs analysis with
   | [] -> None
   | p :: _ -> Some p
+
+(* ---- Anytime search: the quality/time dial ----
+
+   The same per-target restart descent as [min_qubits] + [search]
+   (identical outputs when nothing trips — pinned by the golden suite),
+   instrumented with a best-so-far incumbent: every DFS node with fewer
+   active qubits than the incumbent snapshots (circuit, pairs). A
+   wall-clock [Guard.Budget] trip returns the incumbent tagged
+   [Anytime] instead of letting the failure escape, so the degradation
+   ladder never has to throw partial work away.
+
+   Only the wall clock makes a result [Anytime]. The DFS node cap
+   ([opts.budget]) ending the final search is the configured engine
+   running to its deterministic completion — same options, same result,
+   every run — so it stays [Exact]: callers (the serve cache in
+   particular) rely on [Exact] meaning deadline-independent. *)
+
+type anytime = {
+  circuit : Quantum.Circuit.t;
+  pairs : Reuse.pair list;
+  width : int;
+  quality : Quality.t;
+}
+
+let incumbent_observer circuit =
+  let best = ref (circuit, [], Reuse.qubit_usage circuit) in
+  let steps = ref 0 and frontier = ref 0 in
+  let observer =
+    {
+      note =
+        (fun usage c rev_pairs ->
+          incr steps;
+          let _, _, bu = !best in
+          if usage < bu then best := (c, List.rev rev_pairs, usage));
+      frontier = (fun d -> frontier := !frontier + d);
+    }
+  in
+  (best, steps, frontier, observer)
+
+let anytime_return best steps frontier =
+  Obs.Metrics.incr "qs.anytime.returns";
+  let circuit, pairs, width = best in
+  {
+    circuit;
+    pairs;
+    width;
+    quality =
+      Quality.Anytime { steps_done = steps; frontier_left = max 0 frontier };
+  }
+
+let max_reuse_anytime ?(opts = default_opts) circuit =
+  let cache = new_cache () in
+  let best, steps, frontier, observer = incumbent_observer circuit in
+  let rec descend target =
+    if target < 1 then Exhausted
+    else
+      match search_out ~observer ~cache opts target circuit with
+      | Found (c, _) ->
+        (* Leftover branch counts from a solved search are not "space
+           left unexplored" — the descent moves on to a deeper target. *)
+        frontier := 0;
+        descend (Reuse.qubit_usage c - 1)
+      | (Exhausted | Cut) as ending -> ending
+  in
+  match descend (Reuse.qubit_usage circuit - 1) with
+  | Found _ | Exhausted | Cut ->
+    let circuit, pairs, width = !best in
+    { circuit; pairs; width; quality = Quality.Exact }
+  | exception Guard.Error.Budget_exceeded _ ->
+    anytime_return !best !steps !frontier
+
+let search_anytime ?(opts = default_opts) ~target circuit =
+  let cache = new_cache () in
+  let best, steps, frontier, observer = incumbent_observer circuit in
+  match search_out ~observer ~cache opts target circuit with
+  | Found (c, pairs) ->
+    Some
+      {
+        circuit = c;
+        pairs;
+        width = Reuse.qubit_usage c;
+        quality = Quality.Exact;
+      }
+  | Exhausted | Cut -> None
+  | exception Guard.Error.Budget_exceeded _ ->
+    Some (anytime_return !best !steps !frontier)

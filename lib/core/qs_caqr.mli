@@ -85,3 +85,37 @@ val max_reuse : ?opts:search_opts -> Quantum.Circuit.t -> Quantum.Circuit.t
 (** Is there any reuse opportunity at all? (The paper's applicability
     test: tools report "no benefit" when this is [None].) *)
 val opportunity : Quantum.Circuit.t -> Reuse.pair option
+
+(** An anytime search result: the best (pairs, width) incumbent the
+    search had committed when it ended, plus how it ended. [pairs] is a
+    valid reuse certificate for [circuit] regardless of [quality] —
+    partial results revalidate through [Verify.Structural.check_pairs]
+    exactly like complete ones. *)
+type anytime = {
+  circuit : Quantum.Circuit.t;
+  pairs : Reuse.pair list;  (** applied splices, oldest first *)
+  width : int;  (** active qubits of [circuit] *)
+  quality : Quality.t;
+}
+
+(** [max_reuse_anytime ?opts circuit] — {!max_reuse} with the anytime
+    contract. Identical output to [max_reuse] when the wall clock does
+    not intervene (quality {!Quality.Exact} — this includes the DFS
+    node cap [opts.budget] ending the final search, which is the
+    configured engine's deterministic completion, not a deadline
+    artifact); on a wall-clock {!Guard.Budget} trip it returns the
+    deepest incumbent found so far tagged {!Quality.Anytime} and bumps
+    the ["qs.anytime.returns"] counter. The returned width is
+    monotonically non-increasing in both the wall budget and
+    [opts.budget]: a bigger budget explores a superset of the same
+    deterministic DFS order. *)
+val max_reuse_anytime : ?opts:search_opts -> Quantum.Circuit.t -> anytime
+
+(** [search_anytime ?opts ~target circuit] — {!search} with the anytime
+    contract: [Some {quality = Exact; _}] when [target] is reached,
+    [None] when the search space (or node cap) is exhausted without
+    reaching it — exactly like [search] — and, on a wall-clock budget
+    trip, [Some {quality = Anytime _; _}] carrying the best incumbent
+    (whose width may still be above [target]). *)
+val search_anytime :
+  ?opts:search_opts -> target:int -> Quantum.Circuit.t -> anytime option

@@ -1,0 +1,9 @@
+type t = Exact | Anytime of { steps_done : int; frontier_left : int }
+
+let is_exact = function Exact -> true | Anytime _ -> false
+let name = function Exact -> "exact" | Anytime _ -> "anytime"
+
+let to_string = function
+  | Exact -> "exact"
+  | Anytime { steps_done; frontier_left } ->
+    Printf.sprintf "anytime (steps=%d, frontier=%d)" steps_done frontier_left

@@ -27,6 +27,22 @@ type analysis = {
      Lazy: predictions consult it on every candidate pair, but only wires
      ending in a measurement ever force it. *)
   clbit_users : int array Lazy.t;
+  (* Per-qubit prediction summaries (max/min over the wire's gates of the
+     gate-level schedules above). Scoring a candidate pair is then O(1),
+     which is what makes sorting the ~k^2 candidate lists of 100-1000
+     qubit circuits affordable; one O(gates) pass amortizes over every
+     pair scored against this analysis. Lazy: [valid]/[valid_pairs]
+     never force it. *)
+  q_summary : qsummary Lazy.t;
+}
+
+and qsummary = {
+  fin_depth : int array;  (* max ef_depth over gates on q; 0 if none *)
+  fin_dur : int array;
+  tail_d : int array;  (* max tail_depth over gates on q; 0 if none *)
+  tail_u : int array;
+  start_d : int array;  (* min ef_depth over gates on q; 0 if none *)
+  ends_meas : bool array;  (* wire ends in a sole-user measurement *)
 }
 
 (* Earliest-finish and longest-tail schedules in unit depth and in dt,
@@ -80,6 +96,58 @@ let finish_analysis circuit dag qreach ~inter ~active ~barriers =
   let ef_depth, ef_dur, tail_depth, tail_dur, cp_depth, cp_dur =
     schedules circuit dag model
   in
+  let clbit_users =
+    lazy
+      (let users = Array.make circuit.Quantum.Circuit.num_clbits 0 in
+       Array.iter
+         (fun g ->
+           List.iter
+             (fun c -> users.(c) <- users.(c) + 1)
+             (Quantum.Gate.clbits g.Quantum.Gate.kind))
+         circuit.Quantum.Circuit.gates;
+       users);
+  in
+  let q_summary =
+    lazy
+      (let k = circuit.Quantum.Circuit.num_qubits in
+       let fin_depth = Array.make k 0
+       and fin_dur = Array.make k 0
+       and tail_d = Array.make k 0
+       and tail_u = Array.make k 0
+       and start_d = Array.make k 0
+       and ends_meas = Array.make k false in
+       for q = 0 to k - 1 do
+         match Quantum.Dag.gates_on_qubit dag q with
+         | [] -> ()
+         | gates ->
+           let fd = ref 0
+           and fu = ref 0
+           and td = ref 0
+           and tu = ref 0
+           and sd = ref max_int in
+           List.iter
+             (fun g ->
+               if ef_depth.(g) > !fd then fd := ef_depth.(g);
+               if ef_dur.(g) > !fu then fu := ef_dur.(g);
+               if tail_depth.(g) > !td then td := tail_depth.(g);
+               if tail_dur.(g) > !tu then tu := tail_dur.(g);
+               if ef_depth.(g) < !sd then sd := ef_depth.(g))
+             gates;
+           fin_depth.(q) <- !fd;
+           fin_dur.(q) <- !fu;
+           tail_d.(q) <- !td;
+           tail_u.(q) <- !tu;
+           start_d.(q) <- !sd;
+           (match List.rev gates with
+            | last :: _ ->
+              (match circuit.Quantum.Circuit.gates.(last).Quantum.Gate.kind with
+               | Quantum.Gate.Measure (_, c) ->
+                 ends_meas.(q) <- (Lazy.force clbit_users).(c) = 1
+               | _ -> ())
+            | [] -> ())
+       done;
+       { fin_depth; fin_dur; tail_d; tail_u; start_d; ends_meas })
+  in
   {
     circuit;
     dag;
@@ -94,16 +162,8 @@ let finish_analysis circuit dag qreach ~inter ~active ~barriers =
     cp_depth;
     cp_dur;
     model;
-    clbit_users =
-      lazy
-        (let users = Array.make circuit.Quantum.Circuit.num_clbits 0 in
-         Array.iter
-           (fun g ->
-             List.iter
-               (fun c -> users.(c) <- users.(c) + 1)
-               (Quantum.Gate.clbits g.Quantum.Gate.kind))
-           circuit.Quantum.Circuit.gates;
-         users);
+    clbit_users;
+    q_summary;
   }
 
 let analyze circuit =
@@ -183,39 +243,26 @@ let reusable_final_clbit a src =
        if (Lazy.force a.clbit_users).(c) = 1 then Some c else None
      | _ -> None)
 
-let src_ends_measured a src = reusable_final_clbit a src <> None
-
-let predict ~ef ~tail ~cp ~reset_cost a { src; dst } =
-  let s_gates = Quantum.Dag.gates_on_qubit a.dag src in
-  let d_gates = Quantum.Dag.gates_on_qubit a.dag dst in
-  let max_ef = List.fold_left (fun acc g -> max acc ef.(g)) 0 s_gates in
-  let max_tail = List.fold_left (fun acc g -> max acc tail.(g)) 0 d_gates in
-  max cp (max_ef + reset_cost + max_tail)
-
 let src_finish_depth a { src; dst = _ } =
-  List.fold_left
-    (fun acc g -> max acc a.ef_depth.(g))
-    0
-    (Quantum.Dag.gates_on_qubit a.dag src)
+  (Lazy.force a.q_summary).fin_depth.(src)
 
-let dst_start_depth a { src = _; dst } =
-  match Quantum.Dag.gates_on_qubit a.dag dst with
-  | [] -> 0
-  | gates -> List.fold_left (fun acc g -> min acc a.ef_depth.(g)) max_int gates
+let dst_start_depth a { src = _; dst } = (Lazy.force a.q_summary).start_d.(dst)
 
-let predict_depth a p =
+let predict_depth a { src; dst } =
+  let s = Lazy.force a.q_summary in
   (* A measured wire only needs the conditional X (1 layer); otherwise the
      spliced measure + conditional X costs 2. *)
-  let reset_cost = if src_ends_measured a p.src then 1 else 2 in
-  predict ~ef:a.ef_depth ~tail:a.tail_depth ~cp:a.cp_depth ~reset_cost a p
+  let reset_cost = if s.ends_meas.(src) then 1 else 2 in
+  max a.cp_depth (s.fin_depth.(src) + reset_cost + s.tail_d.(dst))
 
-let predict_duration ?model a p =
+let predict_duration ?model a { src; dst } =
   let model = Option.value ~default:a.model model in
+  let s = Lazy.force a.q_summary in
   let reset_cost =
-    if src_ends_measured a p.src then model.Quantum.Duration.if_x
+    if s.ends_meas.(src) then model.Quantum.Duration.if_x
     else Quantum.Duration.measure_cond_x model
   in
-  predict ~ef:a.ef_dur ~tail:a.tail_dur ~cp:a.cp_dur ~reset_cost a p
+  max a.cp_dur (s.fin_dur.(src) + reset_cost + s.tail_u.(dst))
 
 (* An emitted transform, together with the relabelling data the
    incremental engine needs to derive the child DAG without rebuilding:

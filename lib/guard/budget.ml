@@ -36,6 +36,17 @@ let current () = Float.min (Domain.DLS.get scope) (Atomic.get deadline)
 
 let has_deadline () = current () < infinity
 
+let remaining_s () =
+  let d = current () in
+  if d = infinity then None
+  else Some (Float.max 0. (d -. Unix.gettimeofday ()))
+
+let fraction f =
+  match remaining_s () with
+  | None -> infinity
+  | Some rem ->
+    Unix.gettimeofday () +. (Float.max 0. (Float.min 1. f) *. rem)
+
 let with_deadline ?ms f =
   match ms with
   | None -> f ()

@@ -55,6 +55,18 @@ val with_deadline : ?ms:int -> (unit -> 'a) -> 'a
 (** Is any deadline (scoped or global) currently armed? *)
 val has_deadline : unit -> bool
 
+(** Seconds left on the tightest armed deadline (clamped at 0), or
+    [None] when nothing is armed. *)
+val remaining_s : unit -> float option
+
+(** [fraction f] is a budget expiring after share [f] (clamped to
+    [0..1]) of the time left on the current deadline — {!unlimited} when
+    nothing is armed. This is how a pipeline phase reserves headroom for
+    the phases after it: an anytime search scoped to [fraction 0.6]
+    leaves 40% of the request's remaining time for routing and
+    verification. *)
+val fraction : float -> t
+
 (** [checkpoint ~stage ~site] raises {!Error.Budget_exceeded} when the
     tightest armed deadline has passed; no-op otherwise. *)
 val checkpoint : stage:string -> site:string -> unit

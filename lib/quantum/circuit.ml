@@ -21,6 +21,12 @@ let of_kinds ~num_qubits ~num_clbits kinds =
   in
   { num_qubits; num_clbits; gates }
 
+let of_kind_array ~num_qubits ~num_clbits kinds =
+  Array.iter (check_kind ~num_qubits ~num_clbits) kinds;
+  { num_qubits;
+    num_clbits;
+    gates = Array.mapi (fun id kind -> { Gate.id; kind }) kinds }
+
 let gate_count c = Array.length c.gates
 
 let count p c =

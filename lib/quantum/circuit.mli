@@ -17,6 +17,12 @@ val empty : num_qubits:int -> num_clbits:int -> t
     order. Raises [Invalid_argument] if an operand is out of range. *)
 val of_kinds : num_qubits:int -> num_clbits:int -> Gate.kind list -> t
 
+(** Array-based variant of {!of_kinds} for callers that accumulate
+    kinds into a buffer (e.g. the streaming QASM importer): same
+    numbering and validation without an intermediate list. The input
+    array is not retained. *)
+val of_kind_array : num_qubits:int -> num_clbits:int -> Gate.kind array -> t
+
 val gate_count : t -> int
 
 (** Number of two-qubit unitaries (Swap counts as one gate here). *)

@@ -8,42 +8,43 @@ let fail (line, col) msg =
        (Guard.Error.v ~stage ~site:"parse.stmt"
           (Printf.sprintf "line %d, col %d: %s" line col msg)))
 
-(* Strip comments, split on ';', keep the line AND column where each
-   statement's first non-blank character sits. *)
-let statements text =
-  let no_comments =
-    String.split_on_char '\n' text
-    |> List.map (fun l ->
-           match String.index_opt l '/' with
-           | Some i when i + 1 < String.length l && l.[i + 1] = '/' ->
-             String.sub l 0 i
-           | _ -> l)
-  in
-  let acc = ref [] in
+(* Single streaming pass over the raw text: strip [//] comments, split
+   on ';', and hand each statement to [f] together with the 1-based line
+   and column of its first non-blank character. Nothing is materialized
+   beyond the one statement currently being assembled, so a megabyte
+   program costs one buffer, not a statement list. *)
+let iter_statements text f =
+  let n = String.length text in
   let buf = Buffer.create 64 in
   let start = ref None in
+  let line = ref 1 and col = ref 0 in
+  let in_comment = ref false in
   let flush () =
     (match (String.trim (Buffer.contents buf), !start) with
      | "", _ | _, None -> ()
-     | stmt, Some p -> acc := (p, stmt) :: !acc);
+     | stmt, Some p -> f p stmt);
     Buffer.clear buf;
     start := None
   in
-  List.iteri
-    (fun lineno line ->
-      String.iteri
-        (fun col ch ->
-          if ch = ';' then flush ()
-          else begin
-            if ch <> ' ' && ch <> '\t' && !start = None then
-              start := Some (lineno + 1, col + 1);
-            Buffer.add_char buf ch
-          end)
-        line;
-      Buffer.add_char buf ' ')
-    no_comments;
-  flush ();
-  List.rev !acc
+  for i = 0 to n - 1 do
+    let ch = text.[i] in
+    incr col;
+    if ch = '\n' then begin
+      in_comment := false;
+      incr line;
+      col := 0;
+      Buffer.add_char buf ' '
+    end
+    else if !in_comment then ()
+    else if ch = '/' && i + 1 < n && text.[i + 1] = '/' then in_comment := true
+    else if ch = ';' then flush ()
+    else begin
+      if ch <> ' ' && ch <> '\t' && !start = None then
+        start := Some (!line, !col);
+      Buffer.add_char buf ch
+    end
+  done;
+  flush ()
 
 (* "pi", "pi/2", "2*pi", "-pi", "1.5708", "-0.5" ... *)
 let parse_angle pos s =
@@ -104,10 +105,11 @@ let split_head tok =
       Some (String.sub tok (i + 1) (close - i - 1)) )
   | None -> (tok, None)
 
-let parse_exn text =
-  let num_qubits = ref 0 and num_clbits = ref 0 in
-  let rev_kinds = ref [] in
-  let add k = rev_kinds := k :: !rev_kinds in
+(* Dispatch one statement. Declarations report their widths through
+   [decl_qubits]/[decl_clbits]; every parsed gate kind flows through
+   [add], in program order. Shared by the materializing and the
+   streaming entry points. *)
+let handle_stmt ~decl_qubits ~decl_clbits ~add (pos, stmt) =
   let one_q pos name angle q =
     let g =
       match (name, angle) with
@@ -128,10 +130,9 @@ let parse_exn text =
     in
     add (Gate.One_q (g, q))
   in
-  List.iter
-    (fun (pos, stmt) ->
-      Guard.Inject.hit "parse.stmt";
-      (* Normalize interior whitespace to single spaces. *)
+  Guard.Inject.hit "parse.stmt";
+  (* Normalize interior whitespace to single spaces. *)
+  begin
       let words =
         String.split_on_char ' ' stmt |> List.filter (fun w -> w <> "")
       in
@@ -150,7 +151,7 @@ let parse_exn text =
           match (String.index_opt s '[', String.index_opt s ']') with
           | Some i, Some j when j > i ->
             (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
-             | Some n when n >= 0 -> num_qubits := max !num_qubits n
+             | Some n when n >= 0 -> decl_qubits n
              | _ -> fail pos "bad qubit count")
           | _ -> fail pos "bad qubit declaration"
         end
@@ -159,7 +160,7 @@ let parse_exn text =
           match (String.index_opt s '[', String.index_opt s ']') with
           | Some i, Some j when j > i ->
             (match int_of_string_opt (String.sub s (i + 1) (j - i - 1)) with
-             | Some n when n >= 0 -> num_clbits := max !num_clbits n
+             | Some n when n >= 0 -> decl_clbits n
              | _ -> fail pos "bad bit count")
           | _ -> fail pos "bad bit declaration"
         end
@@ -231,14 +232,48 @@ let parse_exn text =
              | _, [ qarg ] -> one_q pos name angle (parse_index pos ~reg:"q" qarg)
              | _ -> fail pos (Printf.sprintf "unsupported statement %S" stmt))
           | [] -> ()
-        end)
-    (statements text);
-  Circuit.of_kinds ~num_qubits:!num_qubits ~num_clbits:!num_clbits
-    (List.rev !rev_kinds)
+        end
+  end
 
-(* [Circuit.of_kinds] validates operand ranges, so the boundary also
-   converts its [Invalid_argument] (e.g. a gate on an undeclared wire)
-   into the structured diagnostic. *)
+(* Streaming import: the gate kinds land in a doubling array, so a
+   1000-qubit program costs one growable buffer plus the final circuit
+   instead of two intermediate lists. *)
+let parse_exn text =
+  let num_qubits = ref 0 and num_clbits = ref 0 in
+  let kinds = ref (Array.make 64 (Gate.Reset 0)) in
+  let len = ref 0 in
+  let add k =
+    if !len = Array.length !kinds then begin
+      let bigger = Array.make (2 * !len) k in
+      Array.blit !kinds 0 bigger 0 !len;
+      kinds := bigger
+    end;
+    !kinds.(!len) <- k;
+    incr len
+  in
+  iter_statements text (fun pos stmt ->
+      handle_stmt
+        ~decl_qubits:(fun n -> num_qubits := max !num_qubits n)
+        ~decl_clbits:(fun n -> num_clbits := max !num_clbits n)
+        ~add (pos, stmt));
+  Circuit.of_kind_array ~num_qubits:!num_qubits ~num_clbits:!num_clbits
+    (Array.sub !kinds 0 !len)
+
+let fold_gates text ~init ~gate =
+  Guard.Error.protect ~stage ~site:"parse.stmt" (fun () ->
+      let num_qubits = ref 0 and num_clbits = ref 0 in
+      let acc = ref init in
+      iter_statements text (fun pos stmt ->
+          handle_stmt
+            ~decl_qubits:(fun n -> num_qubits := max !num_qubits n)
+            ~decl_clbits:(fun n -> num_clbits := max !num_clbits n)
+            ~add:(fun k -> acc := gate !acc k)
+            (pos, stmt));
+      (!acc, !num_qubits, !num_clbits))
+
+(* [Circuit.of_kind_array] validates operand ranges, so the boundary
+   also converts its [Invalid_argument] (e.g. a gate on an undeclared
+   wire) into the structured diagnostic. *)
 let parse text = Guard.Error.protect ~stage ~site:"parse.stmt" (fun () -> parse_exn text)
 
 let of_string text =

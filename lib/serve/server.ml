@@ -158,7 +158,21 @@ let result_of_report ~name ~emit_qasm (r : Caqr.Pipeline.report) =
       ("two_q", Json.Int s.Transpiler.Transpile.two_q);
       ("gate_count", Json.Int s.Transpiler.Transpile.gate_count);
       ("reuse_pairs", Json.Int r.Caqr.Pipeline.reuse_pairs);
+      ("quality", Json.String (Caqr.Quality.name r.Caqr.Pipeline.quality));
     ]
+  in
+  let anytime =
+    match r.Caqr.Pipeline.quality with
+    | Caqr.Quality.Exact -> []
+    | Caqr.Quality.Anytime { steps_done; frontier_left } ->
+      [
+        ( "anytime",
+          Json.Obj
+            [
+              ("steps_done", Json.Int steps_done);
+              ("frontier_left", Json.Int frontier_left);
+            ] );
+      ]
   in
   let degraded =
     match r.Caqr.Pipeline.degraded with
@@ -198,12 +212,12 @@ let result_of_report ~name ~emit_qasm (r : Caqr.Pipeline.report) =
       ]
     else []
   in
-  Json.Obj (base @ degraded @ verdict @ qasm)
+  Json.Obj (base @ anytime @ degraded @ verdict @ qasm)
 
 (* Compute one compile/verify/simulate result. Runs under the request's
    scoped budget; the caller wraps with Guard.Error.protect. Returns the
-   result object and whether it may be cached (degraded reports are
-   deadline-dependent, so they are not). *)
+   result object and whether it may be cached (degraded and anytime
+   reports are deadline-dependent, so they are not). *)
 let compute ~name ~input ~circuit:_ (req : Protocol.request) options device =
   let r = Caqr.Pipeline.compile ~options device req.strategy input in
   let body = result_of_report ~name ~emit_qasm:req.emit_qasm r in
@@ -232,7 +246,9 @@ let compute ~name ~input ~circuit:_ (req : Protocol.request) options device =
        | j -> j)
     | _ -> body
   in
-  (body, r.Caqr.Pipeline.degraded = [])
+  ( body,
+    r.Caqr.Pipeline.degraded = []
+    && Caqr.Quality.is_exact r.Caqr.Pipeline.quality )
 
 let ok_fields (req : Protocol.request) ~cache_state ~key ~result =
   [

@@ -147,6 +147,12 @@ let check_golden (e : Benchmarks.Suite.entry) (sname, strategy) () =
     end
   end
 
+(* Large-corpus slice: full strategy coverage at 100+ qubits would take
+   minutes per case, but the baseline pass (no reuse search) is cheap
+   and pins the generators plus the routing layer byte-for-byte. *)
+let large_slice = [ "qaoa-powerlaw-100"; "cuccaro-64" ]
+let large_strategies = [ ("baseline", Caqr.Pipeline.Baseline) ]
+
 let () =
   let cases =
     List.concat_map
@@ -159,4 +165,17 @@ let () =
           strategies)
       (Benchmarks.Suite.regular ())
   in
-  Alcotest.run "golden" [ ("compiled-qasm", cases) ]
+  let large_cases =
+    List.concat_map
+      (fun name ->
+        let e = Benchmarks.Suite.find name in
+        List.map
+          (fun s ->
+            Alcotest.test_case
+              (Printf.sprintf "%s/%s" name (fst s))
+              `Quick (check_golden e s))
+          large_strategies)
+      large_slice
+  in
+  Alcotest.run "golden"
+    [ ("compiled-qasm", cases); ("compiled-qasm-large", large_cases) ]

@@ -290,6 +290,37 @@ let test_no_faults_no_degradation () =
     (Quantum.Qasm.to_string supervised.Caqr.Pipeline.physical
     = Quantum.Qasm.to_string strict.Caqr.Pipeline.physical)
 
+(* A wall-clock trip inside the reuse engine is NOT a ladder event: the
+   engine commits its incumbent and returns it tagged Anytime, so the
+   compile succeeds on the original rung with zero demotions — the
+   ladder only demotes on hard errors. cuccaro-128 needs several
+   seconds of search to run exact, so the 2 s deadline always trips the
+   engine phase while leaving routing ample headroom. *)
+let test_budget_trip_with_incumbent_is_not_demotion () =
+  Obs.Metrics.reset ();
+  let device = device_of "cuccaro-128" in
+  let input = input_of "cuccaro-128" in
+  let r =
+    Guard.Budget.scoped
+      (Guard.Budget.make ~ms:2000 ())
+      (fun () ->
+        Caqr.Pipeline.compile
+          ~options:{ Caqr.Pipeline.default with Caqr.Pipeline.fallback = true }
+          device Caqr.Pipeline.Qs_max_reuse input)
+  in
+  check bool "anytime quality" false
+    (Caqr.Quality.is_exact r.Caqr.Pipeline.quality);
+  check bool "still the original rung" true
+    (r.Caqr.Pipeline.strategy = Caqr.Pipeline.Qs_max_reuse);
+  check int "zero demotions in the report" 0
+    (List.length r.Caqr.Pipeline.degraded);
+  check int "guard.ladder.demotions untouched" 0
+    (Obs.Metrics.count "guard.ladder.demotions");
+  check bool "qs.anytime.returns bumped" true
+    (Obs.Metrics.count "qs.anytime.returns" >= 1);
+  check bool "incumbent beats the baseline width" true
+    (r.Caqr.Pipeline.reuse_pairs > 0)
+
 (* ---- parser diagnostics ---- *)
 
 let expect_parse_error name text =
@@ -464,6 +495,8 @@ let () =
           Alcotest.test_case "off by default" `Quick test_ladder_off_by_default;
           Alcotest.test_case "no faults, no degradation" `Quick
             test_no_faults_no_degradation;
+          Alcotest.test_case "anytime return is not a demotion" `Slow
+            test_budget_trip_with_incumbent_is_not_demotion;
         ] );
       ( "parser",
         [

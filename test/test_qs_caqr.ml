@@ -48,7 +48,8 @@ let test_sweep_stop_at () =
 let test_sweep_records_pairs () =
   let steps = Caqr.Qs_caqr.sweep (Benchmarks.Bv.circuit 5) in
   List.iteri
-    (fun i s -> check int "pair per step" i (List.length s.Caqr.Qs_caqr.pairs))
+    (fun i (s : Caqr.Qs_caqr.step) ->
+      check int "pair per step" i (List.length s.Caqr.Qs_caqr.pairs))
     steps
 
 let test_bv_min_is_two () =
