@@ -1278,6 +1278,37 @@ let serve_exp () =
     !mismatches;
   if !mismatches > 0 then incr structural_violations
 
+(* ------------------------------------------------------------ wirechaos *)
+
+(* Wire-level survival: the seeded attack campaign from lib/wirefuzz
+   against an in-process daemon on each transport. Structural check:
+   zero broken promises — the daemon never crashes, never hangs past
+   its connection deadline, and still answers a well-formed follow-up
+   byte-identically to the pre-attack reference. *)
+let wirechaos_exp () =
+  section "wirechaos"
+    "wire-level fault injection: daemon survival under hostile bytes \
+     (lib/wirefuzz)";
+  List.iter
+    (fun transport ->
+      let t0 = Unix.gettimeofday () in
+      let s = Wirefuzz.selftest ~seed:7 ~cases:25 ~transport () in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "=> %s: %d attack cases in %.1f ms, %d timeout rejection(s), %d \
+         broken promise(s)\n"
+        s.Wirefuzz.addr s.Wirefuzz.cases (1000. *. wall_s)
+        s.Wirefuzz.timeouts_seen
+        (List.length s.Wirefuzz.failures);
+      List.iter
+        (fun (f : Wirefuzz.failure) ->
+          Printf.printf "   case %d (%s): %s\n" f.Wirefuzz.case_index
+            (Wirefuzz.attack_name f.Wirefuzz.attack)
+            f.Wirefuzz.message)
+        s.Wirefuzz.failures;
+      if s.Wirefuzz.failures <> [] then incr structural_violations)
+    [ `Unix; `Tcp ]
+
 (* ----------------------------------------------------------------- main *)
 
 let experiments =
@@ -1299,6 +1330,7 @@ let experiments =
     ("ablation:noise", ablation_noise);
     ("verify", verify_exp);
     ("serve", serve_exp);
+    ("wirechaos", wirechaos_exp);
     ("parallel", parallel_exp);
     ("engines", engines_exp);
     ("perf", perf);

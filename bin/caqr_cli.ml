@@ -11,6 +11,7 @@
      chaos                     fault-injection sweep over every guard site
      serve                     compilation-as-a-service daemon (Unix socket)
      call                      send newline-JSON requests to a daemon
+     chaos-serve               wire-level fault injection against the daemon
 
    Exit codes (see README): 0 success; 1 verification/oracle violation
    (or, for call, a request answered ok:false); 2 usage error; 3 compile
@@ -489,6 +490,9 @@ let chaos_cmd =
              site.")
   in
   let run seed deadline_ms benches =
+    (* The wire.* sites live in Serve.Transport, above fuzz in the link
+       order — the probe that reaches them must be installed from here. *)
+    Wirefuzz.install_chaos_probe ();
     let benches =
       match benches with
       | [] ->
@@ -629,8 +633,30 @@ let serve_cmd =
             "Byte cap on the on-disk cache tier; least-recently-used \
              entries are evicted past it. Default: unbounded.")
   in
+  let conn_timeout_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "conn-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Idle/stall deadline per connection: a peer that completes no \
+             batch for this long is answered with a structured \
+             request.timeout error and disconnected (slow-loris defence). \
+             Default: no deadline.")
+  in
+  let drain_deadline_flag =
+    Cmdliner.Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.drain_deadline_ms
+      & info [ "drain-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT the daemon stops accepting, lets in-flight \
+             connections finish for at most this long, flushes the disk \
+             cache index and exits 0.")
+  in
   let run addr socket cache_dir mem_capacity jobs handler_domains max_inflight
-      disk_budget_bytes default_deadline_ms max_deadline_ms max_batch =
+      disk_budget_bytes default_deadline_ms max_deadline_ms max_batch
+      conn_timeout_ms drain_deadline_ms =
     let addr = resolve_addr addr socket in
     let server =
       Serve.Server.create
@@ -646,6 +672,8 @@ let serve_cmd =
           default_deadline_ms;
           max_deadline_ms;
           max_batch;
+          conn_timeout_ms;
+          drain_deadline_ms;
         }
     in
     Serve.Server.run server
@@ -672,7 +700,7 @@ let serve_cmd =
       const run $ addr_flag $ socket_flag $ cache_dir_flag $ cache_mem_flag
       $ jobs_flag $ handler_domains_flag $ max_inflight_flag
       $ disk_budget_flag $ default_deadline_flag $ max_deadline_flag
-      $ max_batch_flag)
+      $ max_batch_flag $ conn_timeout_flag $ drain_deadline_flag)
 
 (* ---- call: one-shot client for scripts, CI and debugging ---- *)
 
@@ -688,9 +716,17 @@ let call_cmd =
     let rec go i = i + n <= m && (String.sub r i n = needle || go (i + 1)) in
     go 0
   in
-  let run addr socket requests =
+  let call_seed_flag =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seeds the jittered connect backoff, so a scripted retry \
+             schedule is reproducible.")
+  in
+  let run addr socket seed requests =
     let addr = resolve_addr addr socket in
-    let responses = Serve.Client.call_retry ~addr requests in
+    let responses = Serve.Client.call_retry ~addr ~seed requests in
     List.iter print_endline responses;
     (* Responses are single-line JSON objects; a failure always carries
        the literal field "ok":false. Overload rejections get their own
@@ -708,7 +744,104 @@ let call_cmd =
          "Send requests to a running daemon and print one response per \
           line; exits 5 if any response is an overload rejection, 1 if \
           any other response is ok:false")
-    Cmdliner.Term.(const run $ addr_flag $ socket_flag $ requests_pos)
+    Cmdliner.Term.(
+      const run $ addr_flag $ socket_flag $ call_seed_flag $ requests_pos)
+
+(* ---- chaos-serve: wire-level fault injection against a live daemon ---- *)
+
+let chaos_serve_cmd =
+  let seed_flag =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Derives every attack in the campaign; the same (seed, cases, \
+             addr) replays the same byte streams.")
+  in
+  let cases_flag =
+    Cmdliner.Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N" ~doc:"Attack cases per campaign.")
+  in
+  let stall_flag =
+    Cmdliner.Arg.(
+      value & opt float 0.6
+      & info [ "stall-s" ] ~docv:"SECONDS"
+          ~doc:
+            "How long the slow-loris attack holds a partial frame. Set it \
+             past the daemon's --conn-timeout-ms to see structured \
+             timeouts in the summary.")
+  in
+  let artifact_flag =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact" ] ~docv:"PATH"
+          ~doc:
+            "On failure, write a replayable counterexample report (seed, \
+             case index, attack, message per failure) to this file.")
+  in
+  let write_artifact path (summaries : (int * Wirefuzz.summary) list) =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (seed, (s : Wirefuzz.summary)) ->
+        List.iter
+          (fun (f : Wirefuzz.failure) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "addr=%s seed=%d cases=%d case=%d attack=%s %s\n" s.addr
+                 seed s.cases f.case_index
+                 (Wirefuzz.attack_name f.attack)
+                 f.message))
+          s.failures)
+      summaries;
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+  in
+  let run addr socket seed cases stall_s artifact =
+    let summaries =
+      match (addr, socket) with
+      | Some _, _ | _, Some _ ->
+        (* Attack an external daemon the operator already started. *)
+        let addr = resolve_addr addr socket in
+        [ (seed, Wirefuzz.run ~stall_s ~seed ~cases ~addr ()) ]
+      | None, None ->
+        (* Self-contained: spawn an in-process daemon per transport and
+           split the case budget across both framings. *)
+        let per = max 1 (cases / 2) in
+        List.map
+          (fun transport ->
+            (seed, Wirefuzz.selftest ~seed ~cases:per ~transport ()))
+          [ `Unix; `Tcp ]
+    in
+    List.iter
+      (fun (_, s) -> Format.printf "%a@." Wirefuzz.pp_summary s)
+      summaries;
+    let failed =
+      List.exists (fun (_, (s : Wirefuzz.summary)) -> s.failures <> []) summaries
+    in
+    if failed then begin
+      Option.iter (fun p -> write_artifact p summaries) artifact;
+      Printf.eprintf "chaos-serve: the daemon broke a wire promise\n";
+      exit 1
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "chaos-serve"
+       ~doc:
+         "Wire-level chaos: drive seeded mutated byte streams (truncated \
+          frames, garbage and oversized length prefixes, mid-batch \
+          disconnects, slow-loris stalls, corrupted JSON) at a live \
+          daemon and check it never crashes, never hangs past the \
+          deadline, and still answers a well-formed request \
+          byte-identically. With --addr the target is an external \
+          daemon; otherwise an in-process daemon is spawned per \
+          transport and the case budget split across both. Exits 1 on \
+          any broken promise.")
+    Cmdliner.Term.(
+      const run $ addr_flag $ socket_flag $ seed_flag $ cases_flag
+      $ stall_flag $ artifact_flag)
 
 (* ---- cache-warm: precompile the registry into a disk cache ---- *)
 
@@ -808,7 +941,7 @@ let () =
     try
       Cmdliner.Cmd.eval ~catch:false
         (Cmdliner.Cmd.group info
-           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd; serve_cmd; call_cmd; cache_warm_cmd ])
+           [ list_cmd; compile_cmd; sweep_cmd; check_cmd; simulate_cmd; verify_cmd; qasmc_cmd; fuzz_cmd; chaos_cmd; serve_cmd; call_cmd; cache_warm_cmd; chaos_serve_cmd ])
     with
     | Guard.Error.Guard_error e | Guard.Error.Budget_exceeded e ->
       (* Structured errors crossing the command boundary are internal

@@ -10,7 +10,16 @@
    One mutex + condition around a queue is deliberately boring: the
    jobs a crew carries (whole connections) are seconds-long, so queue
    contention is unmeasurable, and a closable queue with broadcast
-   shutdown is easy to prove drain-correct. *)
+   shutdown is easy to prove drain-correct.
+
+   Supervision: a handler exception kills its worker domain — the job
+   it was running is lost (counted in exec.crew.task.errors), but the
+   queue is not — and the dying worker respawns its own replacement
+   while a bounded respawn budget remains (exec.crew.respawns). The
+   budget is what separates "one hostile job" from a crash loop: once
+   it is spent, workers die without replacement and the crew winds
+   down to whatever capacity survives. Respawned workers inherit the
+   creator's Guard.Budget scope exactly like the originals. *)
 
 type 'a t = {
   lock : Mutex.t;
@@ -18,9 +27,12 @@ type 'a t = {
   queue : 'a Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  mutable respawns_left : int;
+  budget : Guard.Budget.t;
+  handler : 'a -> unit;
 }
 
-let worker_loop t handler =
+let worker_loop t =
   let rec next () =
     let job =
       Mutex.protect t.lock (fun () ->
@@ -32,15 +44,41 @@ let worker_loop t handler =
     match job with
     | None -> () (* closed and drained *)
     | Some job ->
-      (try handler job with
-      | Sys.Break as e -> raise e
-      | _ -> Obs.Metrics.incr "exec.crew.task.errors");
+      t.handler job;
       next ()
   in
   next ()
 
-let create ?(domains = 1) handler =
+(* The worker body never lets an exception escape to Domain.join: a
+   death is recorded, a successor is spawned under the lock (so join
+   cannot miss it), and the domain exits cleanly. *)
+let rec worker_body t () =
+  Guard.Budget.scoped t.budget (fun () ->
+      try worker_loop t
+      with
+      | Sys.Break as e -> raise e
+      | _ ->
+        Obs.Metrics.incr "exec.crew.task.errors";
+        Obs.Metrics.incr "exec.crew.deaths";
+        Mutex.protect t.lock (fun () ->
+            if (not t.closed) && t.respawns_left > 0 then begin
+              t.respawns_left <- t.respawns_left - 1;
+              Obs.Metrics.incr "exec.crew.respawns";
+              t.workers <- Domain.spawn (worker_body t) :: t.workers
+            end))
+
+let create ?(domains = 1) ?respawns handler =
   let domains = max 1 (min Pool.max_jobs domains) in
+  (* Default budget: each worker slot may be replaced twice before the
+     crew accepts the capacity loss — generous for stray faults, finite
+     for a job stream that kills every handler it touches. *)
+  let respawns =
+    match respawns with Some r -> max 0 r | None -> 2 * domains
+  in
+  (* Workers inherit the creator's scoped budget, mirroring Pool: work
+     handed to the crew stays under whatever deadline the creator was
+     running with (typically none for a server; each request then
+     installs its own scope). *)
   let t =
     {
       lock = Mutex.create ();
@@ -48,19 +86,19 @@ let create ?(domains = 1) handler =
       queue = Queue.create ();
       closed = false;
       workers = [];
+      respawns_left = respawns;
+      budget = Guard.Budget.current ();
+      handler;
     }
   in
-  (* Workers inherit the creator's scoped budget, mirroring Pool: work
-     handed to the crew stays under whatever deadline the creator was
-     running with (typically none for a server; each request then
-     installs its own scope). *)
-  let budget = Guard.Budget.current () in
+  Obs.Metrics.declare "exec.crew.respawns";
+  Obs.Metrics.declare "exec.crew.deaths";
+  Obs.Metrics.declare "exec.crew.task.errors";
   Obs.Metrics.incr ~by:domains "exec.crew.domains";
-  t.workers <-
-    List.init domains (fun _ ->
-        Domain.spawn (fun () ->
-            Guard.Budget.scoped budget (fun () -> worker_loop t handler)));
+  t.workers <- List.init domains (fun _ -> Domain.spawn (worker_body t));
   t
+
+let respawns_left t = Mutex.protect t.lock (fun () -> t.respawns_left)
 
 let submit t job =
   Mutex.protect t.lock (fun () ->
@@ -77,7 +115,21 @@ let close t =
       t.closed <- true;
       Condition.broadcast t.nonempty)
 
+(* A dying worker may have appended its successor after we snapshot, so
+   joining loops until the list is observed empty. Once [closed] is
+   set no further respawns occur, so the loop terminates. *)
 let join t =
   close t;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+  let rec drain () =
+    let batch =
+      Mutex.protect t.lock (fun () ->
+          let ws = t.workers in
+          t.workers <- [];
+          ws)
+    in
+    if batch <> [] then begin
+      List.iter Domain.join batch;
+      drain ()
+    end
+  in
+  drain ()

@@ -1,5 +1,5 @@
 (** A fixed crew of long-running worker domains over a closable shared
-    queue.
+    queue, with supervised respawn.
 
     {!Pool} is a deterministic [map]: one batch of known tasks, results
     merged in submission order. A crew is the complement — an
@@ -12,28 +12,43 @@
     response).
 
     Workers inherit the creator's scoped {!Guard.Budget} (captured at
-    {!create}), matching {!Pool}'s propagation rule. A handler exception
-    is contained: it is counted (["exec.crew.task.errors"]) and the
-    worker moves to the next job — one bad connection cannot take a
-    worker down. [Sys.Break] is re-raised.
+    {!create}), matching {!Pool}'s propagation rule — and so do
+    respawned workers, so supervision never weakens the budget
+    contract.
 
-    Counters: ["exec.crew.domains"] (workers spawned),
-    ["exec.crew.jobs"] (jobs accepted),
-    ["exec.crew.task.errors"]. *)
+    {b Supervision.} A handler exception kills its worker (the job it
+    was running is lost and counted); the dying worker spawns its own
+    replacement while the bounded respawn budget lasts (default
+    [2 * domains]). Once the budget is spent, workers die without
+    replacement — a crash loop degrades capacity instead of spinning
+    forever. [Sys.Break] is re-raised, never supervised.
+
+    Counters: ["exec.crew.domains"] (initial workers),
+    ["exec.crew.jobs"] (jobs accepted), ["exec.crew.task.errors"]
+    (handler exceptions), ["exec.crew.deaths"] (workers lost),
+    ["exec.crew.respawns"] (replacements spawned). *)
 
 type 'a t
 
-(** [create ?domains handler] spawns the workers immediately
-    ([domains] clamped to [\[1, Pool.max_jobs\]], default 1). *)
-val create : ?domains:int -> ('a -> unit) -> 'a t
+(** [create ?domains ?respawns handler] spawns the workers immediately
+    ([domains] clamped to [\[1, Pool.max_jobs\]], default 1).
+    [respawns] bounds replacement workers over the crew's lifetime
+    (default [2 * domains]; 0 disables supervision). *)
+val create : ?domains:int -> ?respawns:int -> ('a -> unit) -> 'a t
+
+(** Remaining respawn budget — decremented each time a dead worker is
+    replaced. *)
+val respawns_left : 'a t -> int
 
 (** [submit t job] enqueues [job], or answers [false] (dropping it)
     after {!close}. Never blocks. *)
 val submit : 'a t -> 'a -> bool
 
-(** Stop accepting jobs. Idempotent; already-queued jobs still run. *)
+(** Stop accepting jobs. Idempotent; already-queued jobs still run.
+    Also stops supervision: workers dying after [close] are not
+    replaced. *)
 val close : 'a t -> unit
 
 (** [join t] closes the crew and waits until every queued job has been
-    handled and all workers have exited. *)
+    handled and all workers — respawned ones included — have exited. *)
 val join : 'a t -> unit

@@ -37,6 +37,20 @@ let width_of = function
   | Caqr.Pipeline.Regular c -> c.Quantum.Circuit.num_qubits
   | Caqr.Pipeline.Commutable g -> Galg.Graph.order g
 
+(* The wire.* injection sites live in Serve.Transport, which sits ABOVE
+   this library in the link order (benchmarks, a dependee of fuzz,
+   generate circuits with Gen — so fuzz cannot see serve). The probe
+   that exercises those sites is therefore installed from outside:
+   [Wirefuzz.install_chaos_probe] registers a loopback socketpair
+   exchange here, and every entry point that sweeps the full catalog
+   (the chaos CLI, the guard test suite) installs it first. Unprobed,
+   wire.* cells simply never fire — visible in the matrix, not a crash. *)
+let probe : (unit -> unit) option Atomic.t = Atomic.make None
+let set_wire_probe f = Atomic.set probe (Some f)
+
+let wire_probe () =
+  match Atomic.get probe with Some f -> f () | None -> ()
+
 (* One fault, one benchmark: drive the full surface — ladder-supervised
    compiles (both mappers), the applicability test, shot simulation, a
    QASM print/parse roundtrip, and a corpus write — all single-domain so
@@ -67,6 +81,7 @@ let workload input =
   | Ok _ -> ()
   | Error e -> raise (Guard.Error.Guard_error e));
   corpus_roundtrip r.Caqr.Pipeline.logical;
+  wire_probe ();
   reports
 
 let classify reports =

@@ -5,10 +5,12 @@
     For each (site, benchmark) cell, the site is armed at a seed-derived
     hit and a full pipeline workload runs: ladder-supervised compiles
     (SR and a QS strategy) with static verification, the applicability
-    test, shot simulation, a QASM print/parse roundtrip, and a corpus
-    write. Everything runs single-domain, so the armed fault lands at a
-    deterministic hit — the same seed produces a byte-identical matrix
-    on every run.
+    test, shot simulation, a QASM print/parse roundtrip, a corpus
+    write, and — when installed via {!set_wire_probe} — a loopback wire
+    exchange covering the serve transport's wire.* sites. Everything
+    runs single-domain, so the armed fault lands at a deterministic
+    hit — the same seed produces a byte-identical matrix on every
+    run.
 
     Cell outcomes split containment from real failures: degraded
     compiles and structured errors are the resilience layer WORKING;
@@ -32,6 +34,13 @@ type cell = {
   fired : int;  (** 1 when the armed fault actually triggered, else 0 *)
   outcome : outcome;
 }
+
+(** Install the workload step that exercises the serve transport's
+    wire.* injection sites (fuzz cannot depend on serve itself — the
+    benchmark registry sits between them). [Wirefuzz.install_chaos_probe]
+    is the canonical caller; without it, wire.* cells report
+    [fired = 0]. *)
+val set_wire_probe : (unit -> unit) -> unit
 
 (** [run ?seed ?deadline_ms benches] — the full matrix,
     {!Guard.Inject.sites} x [benches], in catalog-then-bench order.

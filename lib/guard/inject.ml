@@ -39,6 +39,12 @@ let sites =
       description = "execution pool: task dispatch"; transient = true };
     { name = "corpus.write"; lib = "fuzz";
       description = "fuzz corpus: counterexample write"; transient = false };
+    { name = "wire.read"; lib = "serve";
+      description = "transport: socket read"; transient = true };
+    { name = "wire.frame"; lib = "serve";
+      description = "transport: frame decode"; transient = false };
+    { name = "wire.write"; lib = "serve";
+      description = "transport: socket write"; transient = true };
   ]
 
 type arming = {

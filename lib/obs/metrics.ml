@@ -22,6 +22,19 @@ let incr ?(by = 1) name =
   | Some r -> r := !r + by
   | None -> Hashtbl.add counters name (ref by)
 
+(* Counters and gauges materialize on first touch, which hides a metric
+   that simply never fired. A subsystem that wants its failure counters
+   visible at zero — so an operator can tell "never happened" from "not
+   wired" — declares them up front. Declaring an existing key is a
+   no-op; the value is never reset. *)
+let declare name =
+  protected @@ fun () ->
+  if not (Hashtbl.mem counters name) then Hashtbl.add counters name (ref 0)
+
+let declare_gauge name =
+  protected @@ fun () ->
+  if not (Hashtbl.mem gauges name) then Hashtbl.add gauges name (ref 0)
+
 let count name =
   protected @@ fun () ->
   match Hashtbl.find_opt counters name with Some r -> !r | None -> 0

@@ -24,6 +24,15 @@ val reset : unit -> unit
 (** [incr ?by name] bumps counter [name] (default [by = 1]). *)
 val incr : ?by:int -> string -> unit
 
+(** [declare name] materializes counter [name] at zero if absent — so a
+    failure counter shows up in snapshots as "never happened" rather
+    than being indistinguishable from "not wired". Never resets an
+    existing value. *)
+val declare : string -> unit
+
+(** {!declare} for gauges. *)
+val declare_gauge : string -> unit
+
 (** Current value of a counter (0 when never bumped). *)
 val count : string -> int
 

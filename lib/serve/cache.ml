@@ -30,6 +30,15 @@ type t = {
 let entry_file key = key ^ ".cache"
 let file_key f = Filename.chop_suffix f ".cache"
 
+(* LRU order survives a restart only as well as it is recorded. The
+   mtime scan is the fallback — it sees writes but not reads, so an
+   entry kept hot purely by hits looks cold after a restart. A clean
+   (draining) shutdown therefore flushes the true recency order to this
+   index file, which the next create consumes (and deletes: once the
+   process is live the index is immediately stale). No ".cache" suffix,
+   so the directory scan never mistakes it for an entry. *)
+let index_file = "index.caqr"
+
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
@@ -40,15 +49,39 @@ let publish_disk_gauges t =
     Obs.Metrics.set_gauge "serve.cache.disk.entries" (Hashtbl.length t.disk)
   end
 
-(* Rebuild the disk index from the directory. Entries are stamped in
-   mtime order (oldest first, name as tie-break) so the LRU order a
-   previous process established survives the restart as closely as the
-   filesystem records it. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Rebuild the disk index from the directory. A flushed index file (one
+   key per line, oldest first) pins the exact LRU order the previous
+   process ended with; entries it doesn't mention were written after
+   the flush, so they rank newest, among themselves in mtime order.
+   With no index — a crash — mtime order (oldest first, name as
+   tie-break) is the best the filesystem records. *)
 let scan_disk t =
   match t.dir with
   | None -> ()
   | Some dir ->
     if Sys.file_exists dir && Sys.is_directory dir then begin
+      let rank = Hashtbl.create 64 in
+      let index_path = Filename.concat dir index_file in
+      if Sys.file_exists index_path then begin
+        (match read_file index_path with
+        | body ->
+          List.iteri
+            (fun i k -> if k <> "" then Hashtbl.replace rank k i)
+            (String.split_on_char '\n' body)
+        | exception Sys_error _ -> ());
+        (try Sys.remove index_path with Sys_error _ -> ())
+      end;
+      let order (k, _, mtime) =
+        match Hashtbl.find_opt rank k with
+        | Some i -> (0, i, 0., k)
+        | None -> (1, 0, mtime, k)
+      in
       let entries =
         Sys.readdir dir |> Array.to_list
         |> List.filter (fun f ->
@@ -59,8 +92,7 @@ let scan_disk t =
                match Unix.stat (Filename.concat dir f) with
                | st -> Some (file_key f, st.Unix.st_size, st.Unix.st_mtime)
                | exception Unix.Unix_error _ -> None)
-        |> List.sort (fun (ka, _, ma) (kb, _, mb) ->
-               compare (ma, ka) (mb, kb))
+        |> List.sort (fun a b -> compare (order a) (order b))
       in
       List.iter
         (fun (key, size, _) ->
@@ -103,12 +135,6 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Crash-safe: content lands in a dot-prefixed temp file first, then one
    atomic rename. Readers only ever open the final name, so a leftover
@@ -251,6 +277,22 @@ let store t key value =
   locked t @@ fun () ->
   mem_insert t key value;
   disk_store t key value
+
+(* Persist the disk tier's LRU order (oldest first). Called from the
+   draining shutdown path; safe to call on a cache with no disk tier. *)
+let flush t =
+  locked t @@ fun () ->
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let entries =
+      Hashtbl.fold (fun k e acc -> (e.dstamp, k) :: acc) t.disk []
+      |> List.sort compare
+    in
+    mkdir_p dir;
+    write_atomic ~dir ~file:index_file
+      (String.concat "" (List.map (fun (_, k) -> k ^ "\n") entries));
+    Obs.Metrics.incr "serve.cache.disk.flush"
 
 let stats t =
   locked t @@ fun () ->

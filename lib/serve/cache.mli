@@ -53,6 +53,14 @@ val find : t -> string -> string option
     byte budget. Storing an existing key overwrites. *)
 val store : t -> string -> string -> unit
 
+(** Persist the disk tier's exact LRU order to an index file inside the
+    cache directory (atomically; no-op without a disk tier). The next
+    {!create} on the same directory consumes — and deletes — the index,
+    so recency earned by {e reads} survives a clean restart; without it
+    (a crash) the mtime scan sees only writes. Called by the server on
+    every clean shutdown; bumps ["serve.cache.disk.flush"]. *)
+val flush : t -> unit
+
 (** Lifetime counters of this cache value, for the [stats] verb:
     [hits], [misses], [disk_hits] (subset of hits), [evictions], the
     current [mem_entries], and the disk tier's [disk_entries],

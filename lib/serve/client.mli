@@ -3,19 +3,33 @@
     follows the address: newline-delimited on Unix sockets,
     length-prefixed on TCP (see {!Transport}). *)
 
-(** [call ~addr lines] connects to the daemon, sends every request in
-    one write (so the server sees them as one pipelined batch), and
-    returns one response per request, in order. Raises
+(** [call ~addr ?timeout_s lines] connects to the daemon, sends every
+    request in one write (so the server sees them as one pipelined
+    batch), and returns one response per request, in order. Raises
     [Unix.Unix_error] when the daemon is not listening and [Failure]
-    when the connection closes before every response arrived. *)
-val call : addr:Transport.addr -> string list -> string list
+    when the connection closes — or, with [timeout_s], makes no
+    progress for that long — before every response arrived. *)
+val call : addr:Transport.addr -> ?timeout_s:float -> string list -> string list
 
-(** [call_retry ~addr ?attempts ?delay_s lines] — {!call}, retrying
-    refused connections (daemon still starting) with a fixed delay
-    (defaults: 40 attempts, 0.05 s). *)
+(** [backoff_delays ~seed ?base_s ?cap_s n] is the deterministic
+    equal-jitter exponential schedule {!call_retry} sleeps through:
+    [n] delays, the k-th drawn uniformly from the upper half of
+    [min cap_s (base_s * 2^k)] (defaults: 0.02 s base, 0.3 s cap). *)
+val backoff_delays :
+  seed:int -> ?base_s:float -> ?cap_s:float -> int -> float list
+
+(** [call_retry ~addr ?attempts ?seed ?base_s ?cap_s ?timeout_s lines]
+    — {!call}, retrying the {e connect phase only} (refused, reset, or
+    missing-socket errors: the daemon is still starting or restarting)
+    under {!backoff_delays}. A failure after any bytes were sent is
+    never retried: a half-processed batch is not idempotent. Defaults:
+    12 attempts, seed 1. *)
 val call_retry :
   addr:Transport.addr ->
   ?attempts:int ->
-  ?delay_s:float ->
+  ?seed:int ->
+  ?base_s:float ->
+  ?cap_s:float ->
+  ?timeout_s:float ->
   string list ->
   string list

@@ -4,13 +4,14 @@
    means 1, so v1 clients keep working unchanged. *)
 let version = 2
 
-type op = Compile | Verify | Simulate | Stats | Shutdown
+type op = Compile | Verify | Simulate | Stats | Health | Shutdown
 
 let op_name = function
   | Compile -> "compile"
   | Verify -> "verify"
   | Simulate -> "simulate"
   | Stats -> "stats"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 let op_of_string = function
@@ -18,6 +19,7 @@ let op_of_string = function
   | "verify" -> Ok Verify
   | "simulate" -> Ok Simulate
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown op %S" other)
 

@@ -5,7 +5,7 @@
     Request shape (fields beyond [op] are optional unless noted):
 
     {v
-    {"op":"compile"|"verify"|"simulate"|"stats"|"shutdown",
+    {"op":"compile"|"verify"|"simulate"|"stats"|"health"|"shutdown",
      "proto": <int>,                   -- protocol version (default 1)
      "id": <any JSON, echoed back>,
      "bench": "<benchmark name>",      -- XOR bench registry, or
@@ -36,7 +36,7 @@
 (** The protocol version this build speaks (2). *)
 val version : int
 
-type op = Compile | Verify | Simulate | Stats | Shutdown
+type op = Compile | Verify | Simulate | Stats | Health | Shutdown
 
 val op_name : op -> string
 

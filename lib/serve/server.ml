@@ -10,6 +10,13 @@ type config = {
   max_deadline_ms : int option;
   max_batch : int;
   max_request_bytes : int;
+  conn_timeout_ms : int option;
+      (** a connection that completes no batch for this long — idle,
+          trickling bytes, or refusing to drain our writes — gets a
+          structured [request.timeout] and is closed. [None] = never. *)
+  drain_deadline_ms : int;
+      (** on SIGTERM/SIGINT, how long in-flight connections get to
+          finish before the stop flag falls regardless. *)
 }
 
 let default_config =
@@ -25,6 +32,8 @@ let default_config =
     max_deadline_ms = None;
     max_batch = 64;
     max_request_bytes = 10_000_000;
+    conn_timeout_ms = None;
+    drain_deadline_ms = 5_000;
   }
 
 type t = {
@@ -33,9 +42,18 @@ type t = {
   gate : Guard.Gate.t;
   requests : int Atomic.t;
   started : float;
+  stop : bool Atomic.t;  (** hard stop: the shutdown verb, or drain expiry *)
+  drain_flag : bool Atomic.t;
+      (** graceful: refuse new connections, finish in-flight ones *)
+  active_conns : int Atomic.t;
 }
 
 let create config =
+  Obs.Metrics.declare "serve.conn.timeout";
+  Obs.Metrics.declare "serve.conn.errors";
+  Obs.Metrics.declare "serve.socket.reclaimed";
+  Obs.Metrics.declare_gauge "serve.draining";
+  Obs.Metrics.declare_gauge "serve.conns.active";
   {
     config =
       {
@@ -44,6 +62,7 @@ let create config =
         handler_domains = max 1 config.handler_domains;
         max_batch = max 1 config.max_batch;
         max_request_bytes = max 1024 config.max_request_bytes;
+        drain_deadline_ms = max 0 config.drain_deadline_ms;
       };
     cache =
       Cache.create ~mem_capacity:config.mem_capacity ?dir:config.cache_dir
@@ -53,10 +72,21 @@ let create config =
         ~limit:config.max_inflight ();
     requests = Atomic.make 0;
     started = Unix.gettimeofday ();
+    stop = Atomic.make false;
+    drain_flag = Atomic.make false;
+    active_conns = Atomic.make 0;
   }
 
 let cache t = t.cache
 let gate t = t.gate
+
+(* Exposed so tests (and embedders) can drive the graceful-shutdown
+   path without delivering a real signal to their own process. *)
+let drain t =
+  Atomic.set t.drain_flag true;
+  Obs.Metrics.set_gauge "serve.draining" 1
+
+let draining t = Atomic.get t.drain_flag
 
 let usage_error ~site fmt =
   Printf.ksprintf
@@ -320,6 +350,30 @@ let stats_response t (req : Protocol.request) =
       ("result", Json.Raw (Json.to_string result));
     ]
 
+(* Liveness for probes and drain orchestration: like stats it bypasses
+   the admission gate (an overloaded daemon must still say it is alive,
+   a draining one that it is leaving), but it is cheap enough — no
+   cache stats, no metrics dump — to poll every second. *)
+let health_response t (req : Protocol.request) =
+  let status = if draining t then "draining" else "serving" in
+  let result =
+    Json.Obj
+      [
+        ("status", Json.String status);
+        ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+        ("requests", Json.Int (Atomic.get t.requests));
+        ("inflight", Json.Int (Guard.Gate.inflight t.gate));
+        ("conns_active", Json.Int (Atomic.get t.active_conns));
+        ("crew_respawns", Json.Int (Obs.Metrics.count "exec.crew.respawns"));
+      ]
+  in
+  Protocol.response ~id:req.id
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "health");
+      ("result", Json.Raw (Json.to_string result));
+    ]
+
 let overloaded_error t =
   Guard.Error.v ~recoverable:true ~stage:"serve.admission"
     ~site:"request.overload"
@@ -361,6 +415,7 @@ let handle_line t line =
              ],
            true )
        | Protocol.Stats -> (stats_response t req, false)
+       | Protocol.Health -> (health_response t req, false)
        | Protocol.Compile | Protocol.Verify | Protocol.Simulate ->
          (* Work verbs pass the admission gate; stats and shutdown stay
             answerable under overload so operators can see why and stop
@@ -392,31 +447,96 @@ let handle_batch t lines =
 let poll_interval_s = 0.25
 let accept_interval_s = 0.05
 
+let conn_timeout_s t =
+  Option.map (fun ms -> float_of_int ms /. 1000.) t.config.conn_timeout_ms
+
+let conn_timeout_error t conn =
+  Guard.Error.v ~recoverable:true ~stage:"serve.conn" ~site:"request.timeout"
+    (Printf.sprintf
+       "no complete request within %d ms (%d unframed bytes pending); \
+        closing connection"
+       (Option.value ~default:0 t.config.conn_timeout_ms)
+       (Transport.pending_bytes conn))
+
 (* One connection, owned by one handler domain. recv_batch waits for a
    request, then drains whatever the client already pipelined — capped
    at max_batch — and that run is the batch handed to the pool. The
-   timeout is the stop-flag poll: a shutdown elsewhere ends every idle
-   connection within poll_interval_s. *)
-let serve_conn t stop conn =
+   poll interval bounds how long a blocked handler takes to notice the
+   stop flag; the connection deadline is separate and absolute, clocked
+   from the last COMPLETED batch so a peer trickling bytes (or half a
+   length prefix) cannot reset it. While draining, the connection gets
+   one short poll to pick up anything already pipelined, then closes. *)
+let serve_conn t conn =
   Obs.Metrics.incr "serve.connections";
+  let timeout = conn_timeout_s t in
+  let last_done = ref (Unix.gettimeofday ()) in
+  let deadline_left () =
+    match timeout with
+    | None -> infinity
+    | Some dt -> !last_done +. dt -. Unix.gettimeofday ()
+  in
   let rec loop () =
-    if not (Atomic.get stop) then
+    if not (Atomic.get t.stop) then begin
+      let is_draining = draining t in
+      let poll =
+        if is_draining then 0.05
+        else Float.min poll_interval_s (Float.max 0.001 (deadline_left ()))
+      in
       match
-        Transport.recv_batch ~timeout_s:poll_interval_s
-          ~max:t.config.max_batch conn
+        Transport.recv_batch ~timeout_s:poll ~max:t.config.max_batch conn
       with
       | Transport.Eof -> ()
-      | Transport.Timeout -> loop ()
+      | Transport.Timeout ->
+        if is_draining then () (* idle under drain: close *)
+        else if deadline_left () <= 0. then begin
+          (* Slow-loris verdict: tell the peer why, then hang up. The
+             send itself runs under the same deadline discipline. *)
+          Obs.Metrics.incr "serve.conn.timeout";
+          try
+            Transport.send ?timeout_s:timeout conn
+              [ Protocol.error_response ~id:Json.Null (conn_timeout_error t conn) ]
+          with Guard.Error.Guard_error _ | Unix.Unix_error _ -> ()
+        end
+        else loop ()
       | Transport.Msgs batch ->
         let responses, stop' = handle_batch t batch in
-        Transport.send conn responses;
-        if stop' then Atomic.set stop true else loop ()
+        Transport.send ?timeout_s:timeout conn responses;
+        last_done := Unix.gettimeofday ();
+        if stop' then Atomic.set t.stop true else loop ()
+    end
   in
-  loop ()
+  (* Containment boundary: a hostile peer must cost at most its own
+     connection. Frame violations, injected wire faults, and write
+     stalls surface here as structured errors; anything that still
+     escapes kills the handler domain and is the supervised crew's
+     problem (respawn), not the daemon's. *)
+  try loop () with
+  | Guard.Error.Guard_error e ->
+    Obs.Metrics.incr "serve.conn.errors";
+    (try
+       Transport.send ?timeout_s:timeout conn
+         [ Protocol.error_response ~id:Json.Null e ]
+     with Guard.Error.Guard_error _ | Unix.Unix_error _ | Invalid_argument _ ->
+       ())
+  | Unix.Unix_error _ -> Obs.Metrics.incr "serve.conn.errors"
+
+let install_drain_signals t =
+  let on_signal _ = drain t in
+  let install s =
+    try Some (s, Stdlib.Sys.signal s (Stdlib.Sys.Signal_handle on_signal))
+    with Invalid_argument _ | Stdlib.Sys_error _ -> None
+  in
+  List.filter_map install [ Stdlib.Sys.sigterm; Stdlib.Sys.sigint ]
+
+let restore_signals saved =
+  List.iter
+    (fun (s, old) ->
+      try Stdlib.Sys.set_signal s old
+      with Invalid_argument _ | Stdlib.Sys_error _ -> ())
+    saved
 
 let run ?ready t =
   let listener = Transport.bind t.config.addr in
-  let stop = Atomic.make false in
   (* Handler domains each own whole connections; requests inside one
      connection still batch over Exec.Pool. Every mutable thing a
      handler touches — cache, gate, metrics, the stop flag — is
@@ -424,21 +544,52 @@ let run ?ready t =
      and responses stay content-addressed either way. *)
   let crew =
     Exec.Crew.create ~domains:t.config.handler_domains (fun conn ->
+        Atomic.incr t.active_conns;
+        Obs.Metrics.set_gauge "serve.conns.active" (Atomic.get t.active_conns);
         Fun.protect
-          ~finally:(fun () -> Transport.close conn)
-          (fun () -> serve_conn t stop conn))
+          ~finally:(fun () ->
+            Transport.close conn;
+            Atomic.decr t.active_conns;
+            Obs.Metrics.set_gauge "serve.conns.active"
+              (Atomic.get t.active_conns))
+          (fun () -> serve_conn t conn))
   in
+  let saved_signals = install_drain_signals t in
   (match ready with
   | Some f -> f (Transport.bound_addr listener)
   | None -> ());
   Fun.protect
     ~finally:(fun () ->
+      restore_signals saved_signals;
       Exec.Crew.join crew;
-      Transport.close_listener listener)
+      Transport.close_listener listener;
+      (* Always persist the disk tier's LRU order on the way out: both
+         the shutdown verb and a drained SIGTERM are clean exits. *)
+      Cache.flush t.cache;
+      Obs.Metrics.set_gauge "serve.draining" 0)
     (fun () ->
-      while not (Atomic.get stop) do
+      while not (Atomic.get t.stop || draining t) do
         match Transport.accept ~timeout_s:accept_interval_s listener with
         | Some conn ->
           if not (Exec.Crew.submit crew conn) then Transport.close conn
         | None -> ()
-      done)
+      done;
+      if draining t && not (Atomic.get t.stop) then begin
+        (* Drain: stop accepting at once (close the listener so peers
+           get ECONNREFUSED, not a hang), let in-flight connections
+           finish under the drain deadline, then drop the stop flag —
+           which ends any connection that outstayed its welcome. *)
+        Transport.close_listener listener;
+        let deadline =
+          Unix.gettimeofday ()
+          +. (float_of_int t.config.drain_deadline_ms /. 1000.)
+        in
+        while
+          Atomic.get t.active_conns > 0
+          && (not (Atomic.get t.stop))
+          && Unix.gettimeofday () < deadline
+        do
+          Unix.sleepf 0.02
+        done;
+        Atomic.set t.stop true
+      end)

@@ -55,17 +55,41 @@ type config = {
       (** admission cap: requested deadlines are clamped to this *)
   max_batch : int;  (** most requests dispatched in one pool batch *)
   max_request_bytes : int;  (** admission cap on one request message *)
+  conn_timeout_ms : int option;
+      (** connection deadline, clocked from the last completed batch: a
+          peer that completes no request for this long — idle, trickling
+          bytes slow-loris style, or refusing to drain our writes — is
+          sent a structured recoverable error (stage ["serve.conn"],
+          site ["request.timeout"], counter ["serve.conn.timeout"]) and
+          closed. [None] = connections never expire. *)
+  drain_deadline_ms : int;
+      (** how long in-flight connections get to finish after
+          SIGTERM/SIGINT (or {!drain}) before the hard stop falls. *)
 }
 
 (** [addr = Unix "caqr.sock"], [jobs = 1], [handler_domains = 4],
     [max_inflight = 0] (unlimited), [mem_capacity = 256], no disk tier,
     no disk budget, no deadlines, [max_batch = 64],
-    [max_request_bytes = 10_000_000]. *)
+    [max_request_bytes = 10_000_000], [conn_timeout_ms = None],
+    [drain_deadline_ms = 5000]. *)
 val default_config : config
 
 type t
 
 val create : config -> t
+
+(** Flip the server into draining mode, exactly as SIGTERM does: the
+    accept loop closes the listener (new connections are refused at the
+    socket), in-flight connections finish under [drain_deadline_ms],
+    the cache index is flushed, and {!run} returns. Gauge
+    ["serve.draining"] tracks the phase. Exposed so tests and embedders
+    can exercise graceful shutdown without delivering a process-wide
+    signal. *)
+val drain : t -> unit
+
+(** Whether {!drain} (or a signal) has been requested. The [health]
+    verb reports this as ["draining"]. *)
+val draining : t -> bool
 
 (** The server's cache, exposed for the [stats] verb and tests. *)
 val cache : t -> Cache.t
@@ -85,10 +109,13 @@ val handle_line : t -> string -> string * bool
 val handle_batch : t -> string list -> string list * bool
 
 (** [run ?ready t] binds [config.addr] and serves until a [shutdown]
-    request: a fixed crew of [handler_domains] domains each owns whole
-    connections while the main domain accepts. [ready] (used by tests
-    and the CLI's startup message) receives the bound address once
-    listening — for [tcp:HOST:0] that includes the real port. Returns
-    after all handler domains have drained; Unix listeners remove their
-    socket file. *)
+    request or a drain (SIGTERM/SIGINT/{!drain}): a supervised crew of
+    [handler_domains] domains each owns whole connections while the
+    main domain accepts. [ready] (used by tests and the CLI's startup
+    message) receives the bound address once listening — for
+    [tcp:HOST:0] that includes the real port. While running, SIGTERM
+    and SIGINT are rebound to request a drain (previous dispositions
+    restored on return). Returns after all handler domains have
+    drained; Unix listeners remove their socket file; the cache index
+    is flushed on every clean exit. *)
 val run : ?ready:(Transport.addr -> unit) -> t -> unit

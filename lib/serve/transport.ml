@@ -103,8 +103,32 @@ let close c =
   c.eof <- true;
   try Unix.close c.fd with Unix.Unix_error _ -> ()
 
+(* A connected pair of in-process conns over a socketpair — no
+   listener, no filesystem. This is what lets the chaos harness and
+   tests exercise the exact framing/read/write code paths (including
+   their fault-injection sites) without standing up a daemon. *)
+let pair ?(framing = Newline) () =
+  Lazy.force ignore_sigpipe;
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (conn_of_fd framing a, conn_of_fd framing b)
+
+(* Bytes read off the socket but not yet framed into a message — the
+   tell-tale of a peer stalled mid-frame (half a length prefix, a line
+   with no newline). The server reads this to distinguish "idle" from
+   "wedged" when a connection deadline expires. *)
+let pending_bytes c = Buffer.length c.buf
+
+let frame_error fmt =
+  Printf.ksprintf
+    (fun detail ->
+      raise
+        (Guard.Error.Guard_error
+           (Guard.Error.v ~stage:"serve.transport" ~site:"wire.frame" detail)))
+    fmt
+
 (* Move every complete message out of [buf] into [msgs]. *)
 let reframe_newline c =
+  Guard.Inject.hit "wire.frame";
   let s = Buffer.contents c.buf in
   match String.rindex_opt s '\n' with
   | None -> ()
@@ -115,6 +139,7 @@ let reframe_newline c =
     Buffer.add_substring c.buf s (last + 1) (String.length s - last - 1)
 
 let reframe_length c =
+  Guard.Inject.hit "wire.frame";
   let s = Buffer.contents c.buf in
   let n = String.length s in
   let pos = ref 0 in
@@ -129,11 +154,12 @@ let reframe_length c =
         lor Char.code s.[!pos + 3]
       in
       if len > max_frame_bytes then
-        failwith
-          (Printf.sprintf
-             "Serve.Transport: frame of %d bytes exceeds the %d-byte cap \
-              (wrong framing for this transport?)"
-             len max_frame_bytes)
+        (* A structured error, not failwith: the handler owning this
+           connection contains it and closes, instead of dying. *)
+        frame_error
+          "frame of %d bytes exceeds the %d-byte cap (wrong framing for \
+           this transport?)"
+          len max_frame_bytes
       else if n - !pos - 4 < len then scanning := false
       else begin
         Queue.add (String.sub s (!pos + 4) len) c.msgs;
@@ -152,6 +178,7 @@ let reframe c =
   | Length_prefixed -> reframe_length c
 
 let read_once c =
+  Guard.Inject.hit "wire.read";
   match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
   | 0 -> c.eof <- true
   | n -> Buffer.add_subbytes c.buf c.chunk 0 n
@@ -176,18 +203,29 @@ let rec recv c =
 
 type recv_result = Msgs of string list | Eof | Timeout
 
+(* [timeout_s] is a TOTAL budget for this call, not a per-read idle
+   timeout. The distinction matters exactly once, and then a lot: a
+   slow-loris peer trickling one byte per poll interval would reset a
+   per-read timeout forever and pin the handler; against an absolute
+   deadline the trickle changes nothing and the call returns [Timeout]
+   on schedule. *)
 let recv_batch ?timeout_s ~max:cap c =
+  let deadline =
+    Option.map (fun dt -> Unix.gettimeofday () +. dt) timeout_s
+  in
   let rec await () =
     if not (Queue.is_empty c.msgs) then `Ready
     else if c.eof then `Eof
     else
-      match timeout_s with
+      match deadline with
       | None ->
         read_once c;
         reframe c;
         await ()
-      | Some dt ->
-        if readable ~timeout_s:dt c then begin
+      | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0. then `Timeout
+        else if readable ~timeout_s:left c then begin
           read_once c;
           reframe c;
           await ()
@@ -215,8 +253,11 @@ let recv_batch ?timeout_s ~max:cap c =
     in
     Msgs (take [] cap)
 
-let frame c payload =
-  match c.framing with
+(* Framing as a pure function of bytes, so the wire fuzzer can build
+   well-formed — and then surgically malformed — frames without a
+   connection in hand. *)
+let encode ~framing payload =
+  match framing with
   | Newline ->
     if String.contains payload '\n' then
       invalid_arg
@@ -233,13 +274,44 @@ let frame c payload =
     Bytes.set hdr 3 (Char.chr (len land 0xff));
     Bytes.to_string hdr ^ payload
 
-let send c payloads =
+let frame c payload = encode ~framing:c.framing payload
+
+let writable ~timeout_s c =
+  match Unix.select [] [ c.fd ] [] timeout_s with
+  | _, [ _ ], _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* [timeout_s] bounds the whole send, like recv_batch's budget: a peer
+   that stops draining its receive buffer stalls our write, and without
+   a deadline that stall pins the handler domain as surely as a
+   slow-loris read. On expiry the connection is marked dead and a
+   structured (recoverable) error raised for the owner to contain. *)
+let send ?timeout_s c payloads =
   if payloads <> [] && not c.eof then begin
+    Guard.Inject.hit "wire.write";
     let data = String.concat "" (List.map (frame c) payloads) in
     let len = String.length data in
+    let deadline =
+      Option.map (fun dt -> Unix.gettimeofday () +. dt) timeout_s
+    in
     let written = ref 0 in
     try
       while !written < len do
+        (match deadline with
+        | None -> ()
+        | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0. || not (writable ~timeout_s:left c) then begin
+            c.eof <- true;
+            raise
+              (Guard.Error.Guard_error
+                 (Guard.Error.v ~recoverable:true ~stage:"serve.transport"
+                    ~site:"conn.write"
+                    (Printf.sprintf
+                       "write stalled at %d of %d bytes past the deadline"
+                       !written len)))
+          end);
         match Unix.write_substring c.fd data !written (len - !written) with
         | n -> written := !written + n
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -249,20 +321,57 @@ let send c payloads =
 
 (* ---- listeners ---- *)
 
-type listener = { lfd : Unix.file_descr; laddr : addr; lframing : framing }
+type listener = {
+  lfd : Unix.file_descr;
+  laddr : addr;
+  lframing : framing;
+  mutable lclosed : bool;
+}
+
+(* A socket file can be left behind by a crashed daemon (unlink in
+   close_listener never ran) — or it can belong to a live server. The
+   only honest way to tell them apart is to knock: connect succeeding
+   means someone is accepting, so binding must fail loudly rather than
+   steal the path; connect refused means the inode is an orphan and is
+   safe to reclaim. *)
+let unix_socket_alive path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+      | exception Unix.Unix_error _ ->
+        (* Permission trouble, weird inode: treat as live and let the
+           bind report the conflict instead of deleting blind. *)
+        true)
 
 let bind addr =
   Lazy.force ignore_sigpipe;
   match addr with
   | Unix path ->
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (* Replace a stale socket file from a previous run; a live server on
-       the same path loses it, which is the standard Unix-socket
-       bargain. *)
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 64;
-    { lfd = fd; laddr = addr; lframing = Newline }
+    let bind_once () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.bind fd (Unix.ADDR_UNIX path) with
+      | () ->
+        Unix.listen fd 64;
+        fd
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    let fd =
+      match bind_once () with
+      | fd -> fd
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _)
+        when not (unix_socket_alive path) ->
+        Obs.Metrics.incr "serve.socket.reclaimed";
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        bind_once ()
+    in
+    { lfd = fd; laddr = addr; lframing = Newline; lclosed = false }
   | Tcp (host, _port) ->
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -275,7 +384,7 @@ let bind addr =
       | Unix.ADDR_INET (_, p) -> Tcp (host, p)
       | _ -> addr
     in
-    { lfd = fd; laddr = actual; lframing = Length_prefixed }
+    { lfd = fd; laddr = actual; lframing = Length_prefixed; lclosed = false }
 
 let bound_addr l = l.laddr
 
@@ -300,11 +409,17 @@ let accept ?timeout_s l =
     | _ -> None
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
 
+(* Idempotent: the draining shutdown path closes the listener as soon
+   as the drain flag is seen (to refuse new connections), and the
+   run-loop's finally closes it again unconditionally. *)
 let close_listener l =
-  (try Unix.close l.lfd with Unix.Unix_error _ -> ());
-  match l.laddr with
-  | Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ()
+  if not l.lclosed then begin
+    l.lclosed <- true;
+    (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+    match l.laddr with
+    | Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end
 
 let connect addr =
   Lazy.force ignore_sigpipe;

@@ -41,13 +41,22 @@ val framing_of_addr : addr -> framing
 (** Hard cap on one frame (64 MiB) — both send and receive. *)
 val max_frame_bytes : int
 
+(** [encode ~framing msg] is the exact byte string {!send} would put on
+    the wire for [msg] — exposed so the wire fuzzer can build
+    well-formed frames and then corrupt them surgically. Raises
+    [Invalid_argument] like {!send}. *)
+val encode : framing:framing -> string -> string
+
 type listener
 type conn
 
 (** {1 Listening} *)
 
-(** [bind addr] binds and listens. For Unix addresses a stale socket
-    file is replaced; for TCP, [SO_REUSEADDR] is set. Raises
+(** [bind addr] binds and listens. For TCP, [SO_REUSEADDR] is set. A
+    Unix-socket path already bound is probed with a connect: a live
+    server keeps it and [bind] raises [EADDRINUSE]; a stale file left
+    by a crashed daemon (connect refused) is unlinked and the path
+    reclaimed (counted in ["serve.socket.reclaimed"]). Raises
     [Unix.Unix_error] on failure (port in use, bad path, unresolvable
     host). *)
 val bind : addr -> listener
@@ -61,7 +70,9 @@ val bound_addr : listener -> addr
     poll point. *)
 val accept : ?timeout_s:float -> listener -> conn option
 
-(** Close the socket; Unix listeners also remove their socket file. *)
+(** Close the socket; Unix listeners also remove their socket file.
+    Idempotent — the draining shutdown path closes the listener early
+    and the run loop's cleanup closes it again. *)
 val close_listener : listener -> unit
 
 (** {1 Connections} *)
@@ -70,26 +81,43 @@ val close_listener : listener -> unit
     is listening. *)
 val connect : addr -> conn
 
-(** [send c msgs] frames and writes every message in one payload. A
-    vanished peer marks the connection eof instead of raising. Raises
-    [Invalid_argument] if a message cannot be framed (embedded newline
-    under newline framing; > {!max_frame_bytes}). *)
-val send : conn -> string list -> unit
+(** [pair ?framing ()] is a connected in-process conn pair over a
+    socketpair (default {!Newline} framing) — the full framing and
+    read/write paths, including their fault-injection sites, without a
+    listener. Used by the chaos harness and tests. *)
+val pair : ?framing:framing -> unit -> conn * conn
+
+(** [send ?timeout_s c msgs] frames and writes every message in one
+    payload. A vanished peer marks the connection eof instead of
+    raising. [timeout_s] bounds the {e whole} write: a peer that stops
+    draining marks the connection eof and raises a structured,
+    recoverable {!Guard.Error.Guard_error} (stage ["serve.transport"],
+    site ["conn.write"]). Raises [Invalid_argument] if a message cannot
+    be framed (embedded newline under newline framing;
+    > {!max_frame_bytes}). *)
+val send : ?timeout_s:float -> conn -> string list -> unit
 
 (** [recv c] blocks for the next message; [None] on eof. *)
 val recv : conn -> string option
+
+(** Bytes received but not yet forming a complete frame — non-zero when
+    the peer stalled mid-frame (half a length prefix, an unterminated
+    line). *)
+val pending_bytes : conn -> int
 
 type recv_result =
   | Msgs of string list  (** at least one message, in arrival order *)
   | Eof
   | Timeout  (** only when [?timeout_s] was given *)
 
-(** [recv_batch ?timeout_s ~max c] waits (at most [timeout_s] seconds,
-    forever when omitted) for one message, then drains — without
-    blocking — whatever the peer already pipelined behind it, up to
-    [max] messages. Surplus stays queued for the next call. Raises
-    [Failure] on a frame that violates the framing (oversized length
-    prefix). *)
+(** [recv_batch ?timeout_s ~max c] waits for one message, then drains —
+    without blocking — whatever the peer already pipelined behind it,
+    up to [max] messages. Surplus stays queued for the next call.
+    [timeout_s] is an {e absolute} budget for the call, clocked from
+    entry: a peer trickling bytes does not extend it, so a slow-loris
+    cannot pin the caller. Raises {!Guard.Error.Guard_error} (stage
+    ["serve.transport"], site ["wire.frame"]) on a frame that violates
+    the framing (oversized length prefix). *)
 val recv_batch : ?timeout_s:float -> max:int -> conn -> recv_result
 
 val close : conn -> unit

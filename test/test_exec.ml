@@ -303,6 +303,63 @@ let test_crew_survives_handler_exception () =
   (* One job raised; the other 19 must still be handled. *)
   check int "workers outlive a handler exception" 19 (Atomic.get processed)
 
+(* ---- supervision: dead workers respawn under a bounded budget ---- *)
+
+let rec await_respawns crew target k =
+  if Exec.Crew.respawns_left crew = target then ()
+  else if k = 0 then
+    Alcotest.failf "respawn budget stuck at %d (wanted %d)"
+      (Exec.Crew.respawns_left crew) target
+  else begin
+    Unix.sleepf 0.01;
+    await_respawns crew target (k - 1)
+  end
+
+let test_crew_respawn_restores_capacity () =
+  let processed = Atomic.make 0 in
+  let respawns_before = Obs.Metrics.count "exec.crew.respawns" in
+  let crew =
+    Exec.Crew.create ~domains:1 ~respawns:2 (fun n ->
+        if n < 0 then failwith "poison";
+        Atomic.incr processed)
+  in
+  check int "budget as configured" 2 (Exec.Crew.respawns_left crew);
+  ignore (Exec.Crew.submit crew (-1));
+  await_respawns crew 1 500;
+  (* The sole worker died; its replacement must keep draining the
+     queue, under the same handler. *)
+  List.iter (fun n -> ignore (Exec.Crew.submit crew n)) (List.init 10 Fun.id);
+  Exec.Crew.join crew;
+  check int "jobs after a death still processed" 10 (Atomic.get processed);
+  check int "one respawn spent" 1 (Exec.Crew.respawns_left crew);
+  check bool "respawn counted" true
+    (Obs.Metrics.count "exec.crew.respawns" >= respawns_before + 1)
+
+let test_crew_respawn_budget_exhausts () =
+  let crew =
+    Exec.Crew.create ~domains:1 ~respawns:1 (fun n ->
+        if n < 0 then failwith "poison")
+  in
+  ignore (Exec.Crew.submit crew (-1));
+  await_respawns crew 0 500;
+  (* Budget spent: the next death degrades capacity to zero instead of
+     spinning — and join must still return, not deadlock. *)
+  ignore (Exec.Crew.submit crew (-1));
+  Exec.Crew.join crew;
+  check int "budget exhausted" 0 (Exec.Crew.respawns_left crew)
+
+let test_crew_no_respawn_when_disabled () =
+  let deaths_before = Obs.Metrics.count "exec.crew.deaths" in
+  let crew =
+    Exec.Crew.create ~domains:1 ~respawns:0 (fun () -> failwith "die")
+  in
+  ignore (Exec.Crew.submit crew ());
+  Exec.Crew.join crew;
+  check int "supervision disabled leaves no budget" 0
+    (Exec.Crew.respawns_left crew);
+  check bool "death still counted" true
+    (Obs.Metrics.count "exec.crew.deaths" >= deaths_before + 1)
+
 let () =
   Alcotest.run "exec"
     [
@@ -326,6 +383,12 @@ let () =
             test_crew_close_stops_intake;
           Alcotest.test_case "survives handler exception" `Quick
             test_crew_survives_handler_exception;
+          Alcotest.test_case "respawn restores capacity" `Quick
+            test_crew_respawn_restores_capacity;
+          Alcotest.test_case "respawn budget exhausts" `Quick
+            test_crew_respawn_budget_exhausts;
+          Alcotest.test_case "respawns:0 disables supervision" `Quick
+            test_crew_no_respawn_when_disabled;
         ] );
       ( "determinism",
         [

@@ -360,6 +360,10 @@ let test_parser_ok_roundtrip () =
 (* ---- chaos matrix ---- *)
 
 let chaos_benches () =
+  (* The wire.* sites live in Serve.Transport, above fuzz in the link
+     order; without the probe installed, the "every site fired" check
+     below would rightfully fail on them. *)
+  Wirefuzz.install_chaos_probe ();
   [ ("XOR_5", input_of "XOR_5"); ("QAOA5-0.3", input_of "QAOA5-0.3") ]
 
 let test_chaos_contained () =

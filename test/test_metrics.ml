@@ -126,6 +126,39 @@ let test_to_json_stable_order () =
     {|{"counters":{"t.aa":1,"t.zz":2},"gauges":{"g.x":4},"timings_s":{"time.x":0.500000}}|}
     (M.to_json (M.snapshot ()))
 
+let test_declare () =
+  M.reset ();
+  M.declare "d.count";
+  M.declare_gauge "d.level";
+  check int "declared counter starts at zero" 0 (M.count "d.count");
+  check int "declared gauge starts at zero" 0 (M.gauge "d.level");
+  (* The point of declaring: "never happened" is visible in snapshots,
+     distinguishable from "not wired". *)
+  let s = M.snapshot () in
+  check bool "zero counter present in snapshot" true
+    (List.mem_assoc "d.count" s.M.counters);
+  check bool "zero gauge present in snapshot" true
+    (List.mem_assoc "d.level" s.M.gauges);
+  M.incr ~by:4 "d.count";
+  M.declare "d.count";
+  check int "re-declaring never resets a counter" 4 (M.count "d.count");
+  M.set_gauge "d.level" 2;
+  M.declare_gauge "d.level";
+  check int "re-declaring never resets a gauge" 2 (M.gauge "d.level")
+
+(* Declared-at-zero keys take part in the byte-stable rendering the
+   service embeds in responses — pin the exact serialized form. *)
+let test_to_json_declared_pinned () =
+  M.reset ();
+  M.declare "t.never";
+  M.incr "t.aa";
+  M.declare_gauge "g.idle";
+  M.set_gauge "g.x" 4;
+  M.add_time "time.x" 0.5;
+  check Alcotest.string "declared keys serialize byte-stably"
+    {|{"counters":{"t.aa":1,"t.never":0},"gauges":{"g.idle":0,"g.x":4},"timings_s":{"time.x":0.500000}}|}
+    (M.to_json (M.snapshot ()))
+
 let () =
   Alcotest.run "metrics"
     [
@@ -146,6 +179,10 @@ let () =
           Alcotest.test_case "isolation" `Quick test_snapshot_isolation;
           Alcotest.test_case "sorted" `Quick test_snapshot_sorted;
           Alcotest.test_case "json" `Quick test_to_json;
+          Alcotest.test_case "declare materializes at zero" `Quick
+            test_declare;
+          Alcotest.test_case "declared keys pinned in json" `Quick
+            test_to_json_declared_pinned;
           Alcotest.test_case "json stable order" `Quick
             test_to_json_stable_order;
         ] );

@@ -859,6 +859,287 @@ let test_cache_disk_budget_restart () =
   check bool "newest written survives" true
     (Serve.Cache.find c2 "k4" = Some v)
 
+(* A CLEAN shutdown flushes the exact LRU order — recency earned by
+   reads included — to an index file the next create consumes. Without
+   it, the mtime scan above would evict the read-refreshed entry. *)
+let test_cache_index_preserves_read_recency () =
+  let dir = fresh_dir "index-restart" in
+  let v = String.make 32 'v' in
+  let c = Serve.Cache.create ~mem_capacity:0 ~dir ~disk_budget_bytes:70 () in
+  Serve.Cache.store c "a" v;
+  Unix.sleepf 0.02;
+  Serve.Cache.store c "b" v;
+  (* Reading [a] makes [b] the least-recently-used — a fact only the
+     flushed index can carry across the restart (a's mtime is older). *)
+  check bool "read refreshes a" true (Serve.Cache.find c "a" = Some v);
+  Serve.Cache.flush c;
+  check bool "index written" true
+    (Sys.file_exists (Filename.concat dir "index.caqr"));
+  let c2 = Serve.Cache.create ~mem_capacity:0 ~dir ~disk_budget_bytes:70 () in
+  check bool "index consumed" false
+    (Sys.file_exists (Filename.concat dir "index.caqr"));
+  Serve.Cache.store c2 "c" v;
+  check bool "stale-by-recency b evicted" true
+    (Serve.Cache.find c2 "b" = None);
+  check bool "read-refreshed a survives the restart" true
+    (Serve.Cache.find c2 "a" = Some v)
+
+(* ---- health verb ---- *)
+
+let test_health_verb () =
+  let t =
+    server ~config:{ Serve.Server.default_config with max_inflight = 1 } ()
+  in
+  let r, stop = Serve.Server.handle_line t {|{"id":1,"op":"health"}|} in
+  check bool "health does not stop the daemon" false stop;
+  check bool "health ok" true (contains r "\"ok\":true");
+  check bool "reports serving" true (contains r {|"status":"serving"|});
+  check bool "reports uptime" true (contains r "\"uptime_s\"");
+  check bool "reports in-flight" true (contains r "\"inflight\"");
+  (* Liveness must stay observable under overload: health bypasses the
+     admission gate exactly like stats. *)
+  let gate = Serve.Server.gate t in
+  check bool "slot taken" true (Guard.Gate.try_enter gate);
+  let r2, _ = Serve.Server.handle_line t {|{"id":2,"op":"health"}|} in
+  check bool "health bypasses the gate" true (contains r2 "\"ok\":true");
+  Guard.Gate.leave gate;
+  Serve.Server.drain t;
+  check bool "drain flag raised" true (Serve.Server.draining t);
+  let r3, _ = Serve.Server.handle_line t {|{"id":3,"op":"health"}|} in
+  check bool "reports draining" true (contains r3 {|"status":"draining"|})
+
+(* ---- hostile clients: stalls, partial frames, vanishing peers ---- *)
+
+let raw_connect addr =
+  let fd, sa =
+    match addr with
+    | T.Unix path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | T.Tcp (host, port) ->
+      ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+        Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  Unix.connect fd sa;
+  fd
+
+let raw_send fd s =
+  try ignore (Unix.write_substring fd s 0 (String.length s))
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+(* Everything the server sends until it closes or [timeout_s] passes. *)
+let raw_drain ?(timeout_s = 3.0) fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left > 0. then
+      match Unix.select [ fd ] [] [] left with
+      | [ _ ], _, _ ->
+        let n =
+          try Unix.read fd chunk 0 4096 with Unix.Unix_error _ -> 0
+        in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        end
+      | _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Half a frame for each framing: a line with no newline, or a length
+   prefix cut in two. *)
+let half_frame = function
+  | T.Unix _ -> {|{"id":1,"op":"comp|}
+  | T.Tcp _ -> "\x00\x00"
+
+(* A slow-loris peer holds half a frame past the connection deadline.
+   The daemon must answer it with a structured request.timeout and close
+   — while a healthy client connecting DURING the stall is served
+   normally (the staller occupies one handler domain, not the daemon). *)
+let slow_client_contained addr =
+  let _t, daemon, addr =
+    run_daemon
+      {
+        Serve.Server.default_config with
+        addr;
+        conn_timeout_ms = Some 400;
+        handler_domains = 2;
+      }
+  in
+  let fd = raw_connect addr in
+  raw_send fd (half_frame addr);
+  (match
+     Serve.Client.call ~addr ~timeout_s:60.
+       [ {|{"id":2,"op":"compile","bench":"BV_10"}|} ]
+   with
+  | [ r ] ->
+    check bool "healthy client served during the stall" true
+      (contains r "\"ok\":true")
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
+  let observed = raw_drain fd in
+  Unix.close fd;
+  check bool "stall answered with a structured timeout" true
+    (contains observed "request.timeout");
+  check bool "timeout marked recoverable" true
+    (contains observed "\"recoverable\":true");
+  check bool "timeouts counted" true
+    (Obs.Metrics.count "serve.conn.timeout" >= 1);
+  shutdown_daemon ~addr daemon
+
+let test_slow_client_unix () =
+  let dir = fresh_dir "loris" in
+  slow_client_contained (T.Unix (Filename.concat dir "caqr.sock"))
+
+let test_slow_client_tcp () = slow_client_contained (T.Tcp ("127.0.0.1", 0))
+
+(* A peer that sends one complete request plus a fragment of a second,
+   then vanishes. The daemon must absorb the dead connection and keep
+   serving fresh ones. *)
+let mid_batch_disconnect addr =
+  let _t, daemon, addr =
+    run_daemon
+      { Serve.Server.default_config with addr; handler_domains = 2 }
+  in
+  let whole = {|{"id":7,"op":"compile","bench":"BV_10"}|} in
+  let fd = raw_connect addr in
+  raw_send fd
+    (T.encode ~framing:(T.framing_of_addr addr) whole
+    ^ half_frame addr);
+  Unix.close fd;
+  (match
+     Serve.Client.call_retry ~addr ~timeout_s:60.
+       [ {|{"id":8,"op":"compile","bench":"BV_10"}|} ]
+   with
+  | [ r ] ->
+    check bool "daemon survives a vanished peer" true
+      (contains r "\"ok\":true")
+  | other -> Alcotest.failf "expected 1 response, got %d" (List.length other));
+  shutdown_daemon ~addr daemon
+
+let test_mid_batch_disconnect_unix () =
+  let dir = fresh_dir "vanish" in
+  mid_batch_disconnect (T.Unix (Filename.concat dir "caqr.sock"))
+
+let test_mid_batch_disconnect_tcp () =
+  mid_batch_disconnect (T.Tcp ("127.0.0.1", 0))
+
+(* ---- draining shutdown ---- *)
+
+let test_drain_flushes_and_exits () =
+  let dir = fresh_dir "drain" in
+  let sock = Filename.concat dir "caqr.sock" in
+  let cache = Filename.concat dir "cache" in
+  let t, daemon, addr =
+    run_daemon
+      {
+        Serve.Server.default_config with
+        addr = T.Unix sock;
+        cache_dir = Some cache;
+      }
+  in
+  (* Populate the disk tier so the drain has an LRU order to persist. *)
+  (match
+     Serve.Client.call_retry ~addr
+       [ {|{"id":1,"op":"compile","bench":"BV_10"}|} ]
+   with
+  | [ r ] -> check bool "compile before drain" true (contains r "\"ok\":true")
+  | _ -> Alcotest.fail "expected 1 response");
+  Serve.Server.drain t;
+  (* run returns on its own: no shutdown verb, just the drain. *)
+  Domain.join daemon;
+  check bool "socket removed" false (Sys.file_exists sock);
+  check bool "cache index flushed on drain" true
+    (Sys.file_exists (Filename.concat cache "index.caqr"));
+  check bool "new connections refused after drain" true
+    (match Serve.Client.call ~addr [ {|{"op":"stats"}|} ] with
+    | exception Unix.Unix_error _ -> true
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* The real signal path: SIGTERM lands on the process, the handler the
+   daemon installed raises the drain flag, and run returns cleanly. *)
+let test_sigterm_drains () =
+  let dir = fresh_dir "sigterm" in
+  let t, daemon, addr =
+    run_daemon
+      { Serve.Server.default_config with addr = T.Unix (Filename.concat dir "caqr.sock") }
+  in
+  (match Serve.Client.call_retry ~addr [ {|{"op":"health"}|} ] with
+  | [ r ] -> check bool "daemon up before the signal" true (contains r "\"ok\":true")
+  | _ -> Alcotest.fail "expected 1 response");
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Domain.join daemon;
+  check bool "signal raised the drain flag" true (Serve.Server.draining t)
+
+(* ---- stale Unix sockets ---- *)
+
+let test_stale_socket_reclaimed () =
+  let dir = fresh_dir "stale" in
+  let path = Filename.concat dir "stale.sock" in
+  (* Simulate a crashed daemon: the socket file exists, nobody listens. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.close fd;
+  check bool "stale file present" true (Sys.file_exists path);
+  let before = Obs.Metrics.count "serve.socket.reclaimed" in
+  let l = T.bind (T.Unix path) in
+  check int "reclaim counted" (before + 1)
+    (Obs.Metrics.count "serve.socket.reclaimed");
+  (* The rebound listener actually works. *)
+  let client = Domain.spawn (fun () ->
+      let fd = raw_connect (T.Unix path) in
+      Unix.close fd)
+  in
+  (match T.accept ~timeout_s:5.0 l with
+  | Some conn -> T.close conn
+  | None -> Alcotest.fail "rebound listener never accepted");
+  Domain.join client;
+  T.close_listener l;
+  T.close_listener l;
+  (* idempotent *)
+  check bool "path unlinked on close" false (Sys.file_exists path)
+
+let test_live_socket_not_reclaimed () =
+  let dir = fresh_dir "live" in
+  let path = Filename.concat dir "live.sock" in
+  let l = T.bind (T.Unix path) in
+  (match T.bind (T.Unix path) with
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+  | l2 ->
+    T.close_listener l2;
+    Alcotest.fail "binding over a live daemon must fail");
+  T.close_listener l
+
+(* ---- client backoff ---- *)
+
+let test_backoff_deterministic () =
+  let a = Serve.Client.backoff_delays ~seed:5 8 in
+  let b = Serve.Client.backoff_delays ~seed:5 8 in
+  check (Alcotest.list (Alcotest.float 0.)) "same seed, same schedule" a b;
+  check bool "different seed, different jitter" true
+    (a <> Serve.Client.backoff_delays ~seed:6 8);
+  List.iteri
+    (fun k d ->
+      let ceiling = Float.min 0.3 (0.02 *. (2. ** float_of_int k)) in
+      check bool "delay inside the equal-jitter band" true
+        (d >= (ceiling /. 2.) -. 1e-9 && d <= ceiling +. 1e-9))
+    a
+
+(* ---- wire-level chaos campaigns ---- *)
+
+let wire_campaign transport () =
+  let s = Wirefuzz.selftest ~seed:11 ~cases:100 ~transport () in
+  check int "campaign ran every case" 100 s.Wirefuzz.cases;
+  List.iter
+    (fun (f : Wirefuzz.failure) ->
+      Alcotest.failf "case %d (%s) broke a wire promise: %s"
+        f.Wirefuzz.case_index
+        (Wirefuzz.attack_name f.Wirefuzz.attack)
+        f.Wirefuzz.message)
+    s.Wirefuzz.failures
+
 let () =
   Alcotest.run "serve"
     [
@@ -897,6 +1178,8 @@ let () =
             test_cache_disk_budget;
           Alcotest.test_case "disk budget survives restart" `Quick
             test_cache_disk_budget_restart;
+          Alcotest.test_case "flushed index preserves read recency" `Quick
+            test_cache_index_preserves_read_recency;
         ] );
       ( "transport",
         [
@@ -905,6 +1188,10 @@ let () =
             test_tcp_framing_roundtrip;
           Alcotest.test_case "newline framing rejects newline" `Quick
             test_newline_framing_rejects_embedded_newline;
+          Alcotest.test_case "stale unix socket reclaimed" `Quick
+            test_stale_socket_reclaimed;
+          Alcotest.test_case "live unix socket not reclaimed" `Quick
+            test_live_socket_not_reclaimed;
         ] );
       ( "handler",
         [
@@ -930,6 +1217,7 @@ let () =
             test_overload_rejection;
           Alcotest.test_case "protocol versioning" `Quick
             test_proto_versioning;
+          Alcotest.test_case "health verb" `Quick test_health_verb;
         ] );
       ( "socket",
         [
@@ -939,5 +1227,25 @@ let () =
             test_concurrent_clients_unix;
           Alcotest.test_case "4 concurrent clients (tcp)" `Quick
             test_concurrent_clients_tcp;
+        ] );
+      ( "survival",
+        [
+          Alcotest.test_case "slow client contained (unix)" `Quick
+            test_slow_client_unix;
+          Alcotest.test_case "slow client contained (tcp)" `Quick
+            test_slow_client_tcp;
+          Alcotest.test_case "mid-batch disconnect (unix)" `Quick
+            test_mid_batch_disconnect_unix;
+          Alcotest.test_case "mid-batch disconnect (tcp)" `Quick
+            test_mid_batch_disconnect_tcp;
+          Alcotest.test_case "drain flushes and exits" `Quick
+            test_drain_flushes_and_exits;
+          Alcotest.test_case "sigterm drains" `Quick test_sigterm_drains;
+          Alcotest.test_case "backoff schedule deterministic" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "wire chaos campaign (unix)" `Slow
+            (wire_campaign `Unix);
+          Alcotest.test_case "wire chaos campaign (tcp)" `Slow
+            (wire_campaign `Tcp);
         ] );
     ]
